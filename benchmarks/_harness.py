@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+benchmark files can import them explicitly)."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The benchmarks reproduce whole experiments (dozens of solver runs), so a
+    single timed round is appropriate — the interesting numbers are in the
+    experiment reports, the wall time is just bookkeeping.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 1: GMRES-FD switch sweep on Laplace3D vs GMRES-IR."""
+
+from repro.experiments import fig1_fd_laplace3d
+
+from _harness import run_once
+
+
+def test_figure1_fd_switch_sweep_laplace3d(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: fig1_fd_laplace3d.run(experiment_config))
+    record_report(report, "figure1_fd_laplace3d")
+
+    # Shape of the figure: fp64-only is the slowest anchor; GMRES-IR matches
+    # or beats the best hand-tuned FD switch point without any tuning.
+    double_time = report.parameters["gmres-double time [model s]"]
+    ir_time = report.parameters["gmres-ir time [model s]"]
+    best_fd = report.parameters["best FD time [model s]"]
+    assert ir_time < double_time
+    assert ir_time <= 1.15 * best_fd
+    # Switching far too late costs iterations (right side of the plot).
+    times = report.row_values("solve time [model s]")
+    iters = report.row_values("total iterations")
+    assert iters[-1] >= iters[0]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 2: GMRES-FD switch sweep on UniFlow2D vs GMRES-IR."""
+
+from repro.experiments import fig2_fd_uniflow2d
+
+from _harness import run_once
+
+
+def test_figure2_fd_switch_sweep_uniflow2d(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: fig2_fd_uniflow2d.run(experiment_config))
+    record_report(report, "figure2_fd_uniflow2d")
+
+    # Paper conclusion: GMRES-IR is the best method on UniFlow2D — faster
+    # than fp64-only GMRES and at least as fast as every FD switch point.
+    ir_time = report.parameters["gmres-ir time [model s]"]
+    double_time = report.parameters["gmres-double time [model s]"]
+    best_fd = report.parameters["best FD time [model s]"]
+    assert ir_time < double_time
+    assert ir_time <= 1.05 * best_fd

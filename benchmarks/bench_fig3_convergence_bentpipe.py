@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 3: convergence of fp32/fp64/GMRES-IR on BentPipe2D."""
+
+from repro.experiments import fig3_convergence_bentpipe
+
+from _harness import run_once
+
+
+def test_figure3_convergence_curves_bentpipe(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: fig3_convergence_bentpipe.run(experiment_config))
+    record_report(report, "figure3_convergence_bentpipe")
+
+    rows = {row["solver"]: row for row in report.rows}
+    # fp32 stagnates well above the 1e-10 tolerance; fp64 and IR converge;
+    # IR's iteration count stays within one restart cycle of fp64's.
+    assert rows["GMRES fp32"]["status"] != "converged"
+    assert rows["GMRES fp32"]["final relative residual"] > 1e-8
+    assert rows["GMRES fp64"]["status"] == "converged"
+    assert rows["GMRES-IR"]["status"] == "converged"
+    # "Convergence of the multiprecision solver follows the double precision
+    # version closely": never much slower than fp64 (at most one extra cycle
+    # beyond a 10% margin) and occasionally a little faster, as the paper
+    # notes rounding can make it.
+    m = report.parameters["restart"]
+    fp64_iters = rows["GMRES fp64"]["iterations"]
+    ir_iters = rows["GMRES-IR"]["iterations"]
+    assert ir_iters <= fp64_iters + m
+    assert abs(ir_iters - fp64_iters) <= 0.1 * fp64_iters + m
+    assert rows["GMRES-IR"]["solve time [model s]"] < rows["GMRES fp64"]["solve time [model s]"]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 4 + Table I: kernel breakdown and speedups on BentPipe2D."""
+
+from repro.experiments import fig4_table1_kernel_breakdown
+
+from _harness import run_once
+
+
+def test_figure4_table1_kernel_breakdown_bentpipe(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: fig4_table1_kernel_breakdown.run(experiment_config))
+    record_report(report, "figure4_table1_kernel_breakdown")
+
+    speedups = {row["kernel"]: row["speedup"] for row in report.rows}
+    # Table I shape: SpMV gains the most (≈2.5x), orthogonalization kernels
+    # gain modestly, the total lands between them.
+    assert speedups["SpMV"] > 2.0
+    assert 1.0 < speedups["GEMV (Trans)"] < speedups["GEMV (No Trans)"] < speedups["SpMV"]
+    assert 1.0 < speedups["Norm"] < speedups["SpMV"]
+    assert 1.1 < speedups["Total Time"] < 1.7
+    # Figure 4 shape: orthogonalization dominates the unpreconditioned solve.
+    assert report.parameters["orthogonalization share (double)"] > 0.6

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figures 6 + 7: polynomial-preconditioned GMRES vs GMRES-IR."""
+
+from repro.experiments import fig6_fig7_poly_prec
+
+from _harness import run_once
+
+
+def test_figures6_7_polynomial_preconditioning_stretched2d(
+    benchmark, experiment_config, record_report
+):
+    report = run_once(benchmark, lambda: fig6_fig7_poly_prec.run(experiment_config))
+    record_report(report, "figure6_7_poly_preconditioning")
+
+    rows = {row["configuration"]: row for row in report.rows}
+    base = rows["fp64 GMRES + fp64 poly"]
+    mixed = rows["fp64 GMRES + fp32 poly"]
+    ir = rows["GMRES-IR + fp32 poly"]
+
+    # Figure 6: all three configurations converge to the fp64-level tolerance
+    # with nearly identical iteration counts.
+    assert base["status"] == mixed["status"] == ir["status"] == "converged"
+    assert ir["relative residual (fp64)"] <= 1e-10
+    assert abs(mixed["iterations"] - base["iterations"]) <= report.parameters["restart"]
+
+    # Figure 7: fp32 preconditioning already helps, GMRES-IR is the fastest
+    # (paper: 1.58x over the all-fp64 configuration).
+    assert mixed["speedup vs fp64 prec"] > 1.2
+    assert ir["speedup vs fp64 prec"] > 1.3
+    assert ir["solve time [model s]"] <= mixed["solve time [model s]"] * 1.05
+
+    # Polynomial preconditioning shifts the cost toward the SpMV (64% in the
+    # paper vs 15% unpreconditioned).
+    assert base["SpMV share"] > 0.4

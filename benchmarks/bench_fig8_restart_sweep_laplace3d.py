@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 8: restart-size sweep on Laplace3D (large-subspace stall)."""
+
+from repro.experiments import fig8_restart_laplace3d
+
+from _harness import run_once
+
+
+def test_figure8_restart_sweep_laplace3d(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: fig8_restart_laplace3d.run(experiment_config))
+    record_report(report, "figure8_restart_sweep_laplace3d")
+
+    rows = report.rows
+    small = rows[0]
+    large = rows[-1]
+
+    # Paper shape: at modest restart sizes GMRES-IR gives a clear speedup;
+    # once the restart approaches the unrestarted iteration count, the inner
+    # fp32 solver stalls inside the long cycle, GMRES-IR needs a multiple of
+    # the fp64 iterations, and the speedup disappears.
+    assert small["speedup"] > 1.15
+    assert large["IR/double iteration ratio"] > 1.8
+    assert large["speedup"] < 1.0
+    # Basis memory grows linearly with the restart length (the OOM concern).
+    assert large["basis memory [MB]"] > small["basis memory [MB]"] * 5

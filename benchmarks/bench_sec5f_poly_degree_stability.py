@@ -1,0 +1,29 @@
+"""Benchmark regenerating Section V-F: preconditioner complexity vs fp32 rounding error."""
+
+from repro.experiments import sec5f_poly_degree
+
+from _harness import run_once
+
+
+def test_section5f_poly_degree_stability(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: sec5f_poly_degree.run(experiment_config))
+    record_report(report, "section5f_poly_degree_stability")
+
+    rows = report.rows
+    # fp64-applied polynomials converge at every degree (paper).
+    assert all(r["fp64 poly status"] == "converged" for r in rows)
+    # fp32-applied polynomials: fine at low degree, loss of accuracy at high
+    # degree — the onset must exist within the swept range.
+    statuses = [r["fp32 poly status"] for r in rows]
+    assert statuses[0] == "converged"
+    assert "loss_of_accuracy" in statuses
+    onset = statuses.index("loss_of_accuracy")
+    assert all(s == "loss_of_accuracy" or s == "converged" for s in statuses)
+    # Beyond the onset the true residual is stuck well above the tolerance
+    # while the implicit residual pretends to have converged.
+    bad = rows[-1]
+    assert bad["fp32 poly true residual"] > 1e-9
+    assert bad["fp32 poly implicit residual"] < 1e-9
+    # GMRES-IR with the same fp32 polynomial at the highest degree recovers.
+    assert "GMRES-IR at highest degree" in report.parameters
+    assert "converged" in report.parameters["GMRES-IR at highest degree"]

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Table II: restart-size sweep on BentPipe2D."""
+
+from repro.experiments import table2_restart_bentpipe
+
+from _harness import run_once
+
+
+def test_table2_restart_sweep_bentpipe(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: table2_restart_bentpipe.run(experiment_config))
+    record_report(report, "table2_restart_sweep_bentpipe")
+
+    rows = report.rows
+    restarts = [r["restart"] for r in rows]
+    double_iters = [r["double iters"] for r in rows]
+    double_times = [r["double time [model s]"] for r in rows]
+    speedups = [r["speedup"] for r in rows]
+    ortho_share = [r["orthog share (double)"] for r in rows]
+
+    # Paper shape: larger restart → fewer fp64 iterations but longer solve
+    # time (orthogonalization dominates more and more); GMRES-IR gives
+    # speedup at every restart size; the smallest restart is the fastest.
+    assert double_iters[0] >= double_iters[-1]
+    assert double_times[0] < double_times[-1]
+    assert ortho_share[0] < ortho_share[-1]
+    assert all(s > 1.0 for s in speedups)
+    best_ir_restart = report.parameters["fastest IR restart"]
+    assert best_ir_restart == min(restarts)

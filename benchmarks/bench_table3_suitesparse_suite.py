@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table III: GMRES double vs GMRES-IR across the proxy suite."""
+
+from repro.experiments import table3_suitesparse
+
+from _harness import run_once
+
+
+def test_table3_suitesparse_proxy_suite(benchmark, experiment_config, record_report):
+    report = run_once(benchmark, lambda: table3_suitesparse.run(experiment_config))
+    record_report(report, "table3_suitesparse_suite")
+
+    rows = {row["matrix"]: row for row in report.rows}
+    assert len(rows) == 14  # 10 proxies + 4 Galeri problems
+
+    # Everything converges except where the paper also reports difficulty.
+    for name, row in rows.items():
+        assert row["double status"] == "conv", name
+        assert row["IR status"] == "conv", name
+
+    # The paper's aggregate conclusion: GMRES-IR tends to give speedup on
+    # problems needing many hundreds/thousands of iterations ...
+    hard = [r for r in rows.values() if r["double iters"] >= 400]
+    assert hard and all(r["speedup"] > 1.05 for r in hard)
+    # ... and little or none on problems that converge in very few iterations.
+    easy = [r for r in rows.values() if r["double iters"] <= 100]
+    assert easy and min(r["speedup"] for r in easy) < 1.25
+
+    # Galeri reference rows keep their ordering from the earlier sections:
+    # the preconditioned Stretched2D run has the largest speedup of the four.
+    galeri = {k: v for k, v in rows.items() if k.endswith("1500") or k.startswith("Laplace3D")}
+    assert galeri["Stretched2D1500"]["speedup"] >= max(
+        v["speedup"] for k, v in galeri.items() if k != "Stretched2D1500"
+    ) - 0.15

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper via the
+corresponding :mod:`repro.experiments` driver, times it with
+pytest-benchmark (a single round — these are experiment reproductions, not
+micro-benchmarks), and writes the paper-shaped report to
+``benchmarks/results/<name>.txt`` so the numbers that went into
+EXPERIMENTS.md can be regenerated with one command:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Full-size (non-quick) configuration used by all benchmarks."""
+    return ExperimentConfig(quick=False)
+
+
+@pytest.fixture
+def record_report(request):
+    """Write an ExperimentReport to benchmarks/results/ and echo it."""
+
+    def _record(report, name: str | None = None):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = name or request.node.name
+        path = RESULTS_DIR / f"{stem}.txt"
+        text = report.format()
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+        return report
+
+    return _record
+
+

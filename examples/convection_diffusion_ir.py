@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Multiprecision strategies on a convection-dominated flow problem.
+
+The scenario that motivates the paper: a large nonsymmetric system from a
+convection-dominated PDE needs thousands of GMRES iterations, double
+precision is required in the answer, and the hardware is much faster in
+fp32.  This example compares, on the BentPipe2D problem:
+
+* GMRES in fp32 only        — fast per iteration but stagnates near 1e-6;
+* GMRES in fp64 only        — accurate but pays full-precision bandwidth;
+* GMRES-FD (float→double)   — switch precision halfway, needs tuning;
+* GMRES-IR                  — fp32 inner cycles + fp64 refinement.
+
+and prints a compact comparison table plus the residual history of each
+solver (the data behind Figures 1-4 of the paper).
+
+Run:
+    python examples/convection_diffusion_ir.py [grid]
+"""
+
+import sys
+
+import repro
+from repro.analysis import format_table
+from repro.linalg import use_device
+from repro.perfmodel import get_device
+
+
+def main(grid: int = 64) -> None:
+    matrix = repro.matrices.bentpipe2d(grid)
+    b = repro.ones_rhs(matrix)
+    device = get_device("v100").scaled(matrix.n_rows / 1500**2)
+    restart, tol = 25, 1e-10
+    print(f"problem: {matrix.name} (n={matrix.n_rows}), restart={restart}, tol={tol}\n")
+
+    with use_device(device):
+        runs = {
+            "GMRES fp32": repro.gmres(
+                matrix, b, precision="single", restart=restart, tol=tol, max_restarts=120
+            ),
+            "GMRES fp64": repro.gmres(
+                matrix, b, precision="double", restart=restart, tol=tol
+            ),
+            "GMRES-FD (switch @ 4 cycles)": repro.gmres_fd(
+                matrix, b, switch_iteration=4 * restart, restart=restart, tol=tol
+            ),
+            "GMRES-IR": repro.gmres_ir(matrix, b, restart=restart, tol=tol),
+        }
+
+    reference = runs["GMRES fp64"].model_seconds
+    rows = []
+    for name, result in runs.items():
+        rows.append(
+            {
+                "solver": name,
+                "status": result.status.value,
+                "iterations": result.iterations,
+                "true rel. residual": f"{result.relative_residual_fp64:.2e}",
+                "modelled time [ms]": result.model_seconds * 1e3,
+                "speedup vs fp64": reference / result.model_seconds,
+            }
+        )
+    print(format_table(rows, float_format=".3f"))
+
+    print(
+        "\nfp32 stagnates near {:.1e}; GMRES-IR reaches the fp64 tolerance in "
+        "{} iterations ({} refinements) and is {:.2f}x faster than fp64-only GMRES.".format(
+            runs["GMRES fp32"].relative_residual_fp64,
+            runs["GMRES-IR"].iterations,
+            runs["GMRES-IR"].restarts,
+            reference / runs["GMRES-IR"].model_seconds,
+        )
+    )
+
+    # Residual history samples (plot these to reproduce Figure 3).
+    print("\nresidual history (every 10th recorded point):")
+    for name in ("GMRES fp64", "GMRES-IR"):
+        hist = runs[name].history
+        pairs = list(zip(hist.implicit_iterations, hist.implicit_norms))[::10]
+        preview = ", ".join(f"{i}:{r:.1e}" for i, r in pairs[:8])
+        print(f"  {name:10s}: {preview} ...")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

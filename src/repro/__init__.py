@@ -1,0 +1,122 @@
+"""repro — multiprecision GMRES strategies on a modelled GPU.
+
+A from-scratch Python reproduction of
+
+    J. Loe, C. Glusa, I. Yamazaki, E. Boman, S. Rajamanickam,
+    "Experimental Evaluation of Multiprecision Strategies for GMRES on
+    GPUs", IPDPS Workshops 2021 (arXiv:2105.07544).
+
+The package provides:
+
+* restarted GMRES(m) and its multiprecision variants GMRES-IR and GMRES-FD
+  (plus CG and a half/single/double IR extension),
+* GPU-friendly preconditioners: GMRES-polynomial, block Jacobi, point
+  Jacobi (and Chebyshev / Neumann ablation alternatives),
+* the finite-difference PDE problems and SuiteSparse-proxy matrices of the
+  paper's evaluation,
+* an instrumented linear-algebra layer whose kernels are metered through an
+  analytic V100 performance model (the paper's own Section V-D byte-traffic
+  model), so solver runs report a modelled GPU kernel-time breakdown, and
+* experiment drivers that regenerate every table and figure of the paper's
+  evaluation section (see :mod:`repro.experiments` and ``benchmarks/``).
+
+Quickstart::
+
+    import repro
+
+    A = repro.matrices.bentpipe2d(64)
+    b = repro.ones_rhs(A)
+    double = repro.gmres(A, b, precision="double", restart=50, tol=1e-8)
+    mixed = repro.gmres_ir(A, b, restart=50, tol=1e-8)
+    print(double.summary())
+    print(mixed.summary())
+    print("modelled speedup:", double.model_seconds / mixed.model_seconds)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import config, precision, perfmodel, sparse, linalg, matrices, ortho
+from . import preconditioners, solvers, analysis, experiments
+from .config import ReproConfig, get_config, set_config
+from .precision import HALF, SINGLE, DOUBLE, Precision, as_precision
+from .sparse import CsrMatrix
+from .linalg import MultiVector, use_device
+from .perfmodel import KernelTimer, use_timer, DeviceSpec, get_device
+from .solvers import (
+    SolveResult,
+    SolverStatus,
+    ConvergenceHistory,
+    gmres,
+    gmres_ir,
+    gmres_fd,
+    cg,
+    gmres_ir_three_precision,
+)
+from .preconditioners import (
+    JacobiPreconditioner,
+    BlockJacobiPreconditioner,
+    GmresPolynomialPreconditioner,
+    make_preconditioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # submodules
+    "config",
+    "precision",
+    "perfmodel",
+    "sparse",
+    "linalg",
+    "matrices",
+    "ortho",
+    "preconditioners",
+    "solvers",
+    "analysis",
+    "experiments",
+    # configuration / precision
+    "ReproConfig",
+    "get_config",
+    "set_config",
+    "Precision",
+    "as_precision",
+    "HALF",
+    "SINGLE",
+    "DOUBLE",
+    # core types
+    "CsrMatrix",
+    "MultiVector",
+    "KernelTimer",
+    "use_timer",
+    "use_device",
+    "DeviceSpec",
+    "get_device",
+    # solvers
+    "SolveResult",
+    "SolverStatus",
+    "ConvergenceHistory",
+    "gmres",
+    "gmres_ir",
+    "gmres_fd",
+    "cg",
+    "gmres_ir_three_precision",
+    # preconditioners
+    "JacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+    "GmresPolynomialPreconditioner",
+    "make_preconditioner",
+    # helpers
+    "ones_rhs",
+]
+
+
+def ones_rhs(matrix: CsrMatrix, precision="double") -> np.ndarray:
+    """The paper's right-hand side: a vector of all ones.
+
+    Section V: "For each problem, we use a right-hand side vector b of all
+    ones and a starting vector x0 of all zeros."
+    """
+    return np.ones(matrix.n_rows, dtype=as_precision(precision).dtype)

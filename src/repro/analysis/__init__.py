@@ -1,0 +1,31 @@
+"""Analysis of solver runs: kernel breakdowns, speedup tables, model checks.
+
+* :mod:`repro.analysis.breakdown` — per-kernel time split of one run
+  (Figures 4, 7, 8).
+* :mod:`repro.analysis.speedup` — Table-I-style per-kernel speedup tables
+  and the Figure 5 series.
+* :mod:`repro.analysis.model_validation` — Section V-D: paper formula vs
+  cost model vs streaming cache simulation.
+* :mod:`repro.analysis.tables` — plain-text rendering helpers used by the
+  benchmark harness and EXPERIMENTS.md generation.
+"""
+
+from .breakdown import KernelBreakdown, breakdown_from_result, breakdown_from_timer, BREAKDOWN_ORDER
+from .speedup import SpeedupRow, SpeedupTable, speedup_table
+from .model_validation import SpmvModelComparison, compare_spmv_models
+from .tables import format_table, format_kv, format_series
+
+__all__ = [
+    "KernelBreakdown",
+    "breakdown_from_result",
+    "breakdown_from_timer",
+    "BREAKDOWN_ORDER",
+    "SpeedupRow",
+    "SpeedupTable",
+    "speedup_table",
+    "SpmvModelComparison",
+    "compare_spmv_models",
+    "format_table",
+    "format_kv",
+    "format_series",
+]

@@ -1,0 +1,105 @@
+"""Section V-D validation: the analytic SpMV cache model vs. the metered kernel.
+
+Three levels are compared for a given matrix:
+
+1. the paper's closed-form speedup ``5w/(2w+1)`` (perfect fp32 reuse, zero
+   fp64 reuse, row pointers and writes ignored),
+2. the generalised traffic model actually used by the cost model (reuse
+   fractions from :func:`repro.perfmodel.cache.estimate_x_reuse`, row
+   pointers and result writes included), and
+3. the streaming LRU cache simulation driven by the matrix's real column
+   index stream.
+
+The experiment in :mod:`repro.experiments.sec5d_spmv_model` sweeps matrices
+with different nonzeros-per-row and bandwidth and prints all three next to
+the metered SpMV times of actual solver runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..perfmodel.cache import CacheConfig, estimate_x_reuse, simulate_stream_hit_rate
+from ..perfmodel.costs import KernelCostModel
+from ..perfmodel.device import DeviceSpec
+from ..perfmodel.spmv_model import predicted_spmv_speedup
+from ..sparse.csr import CsrMatrix
+from ..sparse.properties import avg_nonzeros_per_row
+
+__all__ = ["SpmvModelComparison", "compare_spmv_models"]
+
+
+@dataclass
+class SpmvModelComparison:
+    """All SpMV-speedup estimates for one matrix."""
+
+    matrix_name: str
+    n_rows: int
+    nnz: int
+    avg_nnz_per_row: float
+    bandwidth: int
+    paper_formula_speedup: float
+    cost_model_speedup: float
+    reuse_fp32: float
+    reuse_fp64: float
+    simulated_hit_rate_fp32: Optional[float] = None
+    simulated_hit_rate_fp64: Optional[float] = None
+
+    def as_row(self) -> dict:
+        row = {
+            "matrix": self.matrix_name,
+            "n": self.n_rows,
+            "nnz/row": self.avg_nnz_per_row,
+            "bandwidth": self.bandwidth,
+            "5w/(2w+1)": self.paper_formula_speedup,
+            "cost model": self.cost_model_speedup,
+            "reuse fp32": self.reuse_fp32,
+            "reuse fp64": self.reuse_fp64,
+        }
+        if self.simulated_hit_rate_fp32 is not None:
+            row["L2 sim fp32"] = self.simulated_hit_rate_fp32
+            row["L2 sim fp64"] = self.simulated_hit_rate_fp64
+        return row
+
+
+def compare_spmv_models(
+    matrix: CsrMatrix,
+    device: DeviceSpec,
+    *,
+    cache_config: Optional[CacheConfig] = None,
+    run_cache_simulation: bool = False,
+    simulation_accesses: int = 500_000,
+) -> SpmvModelComparison:
+    """Compare the SpMV speedup predictions for one matrix on one device."""
+    cfg = cache_config or CacheConfig()
+    w = avg_nonzeros_per_row(matrix)
+    model = KernelCostModel(device, cache_config=cfg)
+    t64 = model.spmv(matrix.n_rows, matrix.n_cols, matrix.nnz, 8, matrix.bandwidth()).seconds
+    t32 = model.spmv(matrix.n_rows, matrix.n_cols, matrix.nnz, 4, matrix.bandwidth()).seconds
+    reuse32 = estimate_x_reuse(device, matrix.n_cols, 4, matrix.bandwidth(), cfg)
+    reuse64 = estimate_x_reuse(device, matrix.n_cols, 8, matrix.bandwidth(), cfg)
+
+    sim32 = sim64 = None
+    if run_cache_simulation:
+        share = cfg.x_share * device.l2_bytes
+        sim32 = simulate_stream_hit_rate(
+            matrix.indices, 4, share, max_accesses=simulation_accesses
+        )
+        sim64 = simulate_stream_hit_rate(
+            matrix.indices, 8, share, max_accesses=simulation_accesses
+        )
+
+    return SpmvModelComparison(
+        matrix_name=matrix.name or "matrix",
+        n_rows=matrix.n_rows,
+        nnz=matrix.nnz,
+        avg_nnz_per_row=w,
+        bandwidth=matrix.bandwidth(),
+        paper_formula_speedup=predicted_spmv_speedup(w),
+        cost_model_speedup=t64 / t32 if t32 > 0 else float("inf"),
+        reuse_fp32=reuse32,
+        reuse_fp64=reuse64,
+        simulated_hit_rate_fp32=sim32,
+        simulated_hit_rate_fp64=sim64,
+    )

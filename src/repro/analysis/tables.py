@@ -1,0 +1,87 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment drivers produce lists of dataclass-like row dicts; these
+helpers render them in aligned fixed-width text so the benchmark harness
+can print rows that read like the paper's tables, and EXPERIMENTS.md can be
+generated mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_kv", "format_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_format: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row mappings as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; missing keys render as blanks.
+    columns:
+        Column order (defaults to the keys of the first row).
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return title or "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        {c: _format_cell(row.get(c), float_format) for c in cols} for row in rows
+    ]
+    widths = {c: max(len(c), *(len(r[c]) for r in rendered)) for c in cols}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(r[c].rjust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Cell], *, float_format: str = ".4g", title: Optional[str] = None) -> str:
+    """Render key/value pairs, one per line, keys left-aligned."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_format_cell(value, float_format)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Iterable[Cell],
+    ys: Iterable[Cell],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure series as two aligned columns (for convergence curves)."""
+    rows: List[Dict[str, Cell]] = [
+        {x_label: x, y_label: y} for x, y in zip(xs, ys)
+    ]
+    return format_table(rows, [x_label, y_label], float_format=float_format, title=title)

@@ -1,0 +1,74 @@
+"""Experiment drivers reproducing every table and figure of the paper's evaluation.
+
+Each module exposes ``run(config: ExperimentConfig | None = None, **overrides)``
+returning an :class:`~repro.experiments.common.ExperimentReport`, plus a
+``PAPER_REFERENCE`` dict with the numbers the paper reports.  The mapping to
+the paper:
+
+==============================  ===========================================
+module                          reproduces
+==============================  ===========================================
+``fig1_fd_laplace3d``           Figure 1 (GMRES-FD switch sweep, Laplace3D)
+``fig2_fd_uniflow2d``           Figure 2 (GMRES-FD switch sweep, UniFlow2D)
+``fig3_convergence_bentpipe``   Figure 3 (convergence curves, BentPipe2D)
+``fig4_table1_kernel_breakdown`` Figure 4 + Table I (kernel breakdown/speedups)
+``fig5_kernel_speedups``        Figure 5 (kernel speedups across three PDEs)
+``fig6_fig7_poly_prec``         Figures 6 + 7 (polynomial preconditioning)
+``sec5d_spmv_model``            Section V-D (SpMV cache-reuse model)
+``table2_restart_bentpipe``     Table II (restart sweep, BentPipe2D)
+``fig8_restart_laplace3d``      Figure 8 (restart sweep, Laplace3D)
+``sec5f_poly_degree``           Section V-F (fp32 preconditioner stability)
+``table3_suitesparse``          Table III (SuiteSparse proxy suite)
+==============================  ===========================================
+"""
+
+from .common import ExperimentConfig, ExperimentReport, scaled_device, solve_on_scaled_device
+from . import (
+    fd_sweep,
+    fig1_fd_laplace3d,
+    fig2_fd_uniflow2d,
+    fig3_convergence_bentpipe,
+    fig4_table1_kernel_breakdown,
+    fig5_kernel_speedups,
+    fig6_fig7_poly_prec,
+    sec5d_spmv_model,
+    table2_restart_bentpipe,
+    fig8_restart_laplace3d,
+    sec5f_poly_degree,
+    table3_suitesparse,
+)
+
+#: All experiment modules keyed by the paper artefact they reproduce.
+ALL_EXPERIMENTS = {
+    "figure1": fig1_fd_laplace3d,
+    "figure2": fig2_fd_uniflow2d,
+    "figure3": fig3_convergence_bentpipe,
+    "figure4_table1": fig4_table1_kernel_breakdown,
+    "figure5": fig5_kernel_speedups,
+    "figure6_7": fig6_fig7_poly_prec,
+    "section5d": sec5d_spmv_model,
+    "table2": table2_restart_bentpipe,
+    "figure8": fig8_restart_laplace3d,
+    "section5f": sec5f_poly_degree,
+    "table3": table3_suitesparse,
+}
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "scaled_device",
+    "solve_on_scaled_device",
+    "ALL_EXPERIMENTS",
+    "fd_sweep",
+    "fig1_fd_laplace3d",
+    "fig2_fd_uniflow2d",
+    "fig3_convergence_bentpipe",
+    "fig4_table1_kernel_breakdown",
+    "fig5_kernel_speedups",
+    "fig6_fig7_poly_prec",
+    "sec5d_spmv_model",
+    "table2_restart_bentpipe",
+    "fig8_restart_laplace3d",
+    "sec5f_poly_degree",
+    "table3_suitesparse",
+]

@@ -1,0 +1,128 @@
+"""Shared driver for the GMRES-FD switch-point sweeps (Figures 1 and 2).
+
+Both figures ask the same question: if one runs fp32 GMRES(m) for ``k``
+iterations and then switches to fp64 GMRES(m), how do the total iteration
+count and the solve time depend on ``k``, and how does the best ``k``
+compare against GMRES-IR (which needs no such tuning)?
+
+The driver:
+
+1. solves the problem with fp64 GMRES(m) (the ``switch at 0`` anchor and
+   the baseline),
+2. solves it with GMRES-IR,
+3. sweeps GMRES-FD over switch points at multiples of the restart length up
+   to (roughly) the fp64 iteration count, and
+4. reports, per switch point, the total iterations and the modelled solve
+   time, plus the IR and fp64 anchors — i.e. exactly the series plotted in
+   the figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..solvers import gmres, gmres_fd, gmres_ir
+from ..sparse.csr import CsrMatrix
+from .common import ExperimentConfig, ExperimentReport, solve_on_scaled_device
+
+__all__ = ["run_fd_sweep"]
+
+
+def run_fd_sweep(
+    matrix: CsrMatrix,
+    paper_n: int,
+    *,
+    experiment: str,
+    title: str,
+    config: Optional[ExperimentConfig] = None,
+    switch_points: Optional[Sequence[int]] = None,
+    n_switch_points: int = 8,
+    paper_reference: Optional[dict] = None,
+    notes: Optional[List[str]] = None,
+) -> ExperimentReport:
+    """Run the Figure 1 / Figure 2 style GMRES-FD switch sweep on one matrix."""
+    cfg = config or ExperimentConfig()
+    m = cfg.restart
+
+    double = solve_on_scaled_device(
+        gmres, matrix, paper_n, precision="double", restart=m, tol=cfg.tol
+    )
+    ir = solve_on_scaled_device(
+        gmres_ir, matrix, paper_n, restart=m, tol=cfg.tol
+    )
+
+    if switch_points is None:
+        # Multiples of the restart length spanning slightly past the fp64
+        # iteration count (switching later than that only wastes fp32 work,
+        # which is the effect the right edge of the figures shows).
+        count = cfg.pick(n_switch_points, max(4, n_switch_points // 2))
+        max_switch = max(m, int(1.2 * double.iterations))
+        stride = max(m, (max_switch // max(count - 1, 1) // m) * m)
+        switch_points = list(range(0, max_switch + 1, stride))
+    switch_points = sorted(set(int(s) for s in switch_points))
+
+    rows = []
+    best = None
+    for switch in switch_points:
+        if switch == 0:
+            result = double
+        else:
+            result = solve_on_scaled_device(
+                gmres_fd,
+                matrix,
+                paper_n,
+                switch_iteration=switch,
+                restart=m,
+                tol=cfg.tol,
+            )
+        row = {
+            "switch at iteration": switch,
+            "total iterations": result.iterations,
+            "solve time [model s]": result.model_seconds,
+            "converged": str(result.converged),
+            "fp32 iterations": result.details.get("low_iterations", 0),
+            "fp64 iterations": result.details.get("high_iterations", result.iterations),
+        }
+        rows.append(row)
+        if result.converged and (best is None or result.model_seconds < best[1]):
+            best = (switch, result.model_seconds)
+
+    report = ExperimentReport(
+        experiment=experiment,
+        title=title,
+        rows=rows,
+        columns=[
+            "switch at iteration",
+            "total iterations",
+            "solve time [model s]",
+            "fp32 iterations",
+            "fp64 iterations",
+            "converged",
+        ],
+        parameters={
+            "matrix": matrix.name,
+            "n": matrix.n_rows,
+            "nnz": matrix.nnz,
+            "restart": m,
+            "tolerance": cfg.tol,
+        },
+        paper_reference=dict(paper_reference or {}),
+        notes=list(notes or []),
+    )
+    report.parameters["gmres-double iterations"] = double.iterations
+    report.parameters["gmres-double time [model s]"] = double.model_seconds
+    report.parameters["gmres-ir iterations"] = ir.iterations
+    report.parameters["gmres-ir time [model s]"] = ir.model_seconds
+    if best is not None:
+        report.parameters["best FD switch"] = best[0]
+        report.parameters["best FD time [model s]"] = best[1]
+        report.notes.append(
+            "GMRES-IR time {:.4g}s vs best hand-tuned GMRES-FD {:.4g}s: {}".format(
+                ir.model_seconds,
+                best[1],
+                "IR matches or beats FD without tuning"
+                if ir.model_seconds <= 1.05 * best[1]
+                else "FD beats IR on this problem/scale",
+            )
+        )
+    return report

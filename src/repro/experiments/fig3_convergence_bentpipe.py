@@ -1,0 +1,126 @@
+"""Figure 3 — convergence of fp32, fp64 and GMRES-IR on BentPipe2D.
+
+Paper setup: BentPipe2D1500 (2.25M unknowns, strongly convection-dominated,
+highly nonsymmetric), GMRES(50), tolerance 1e-10.  Observations: the fp32
+solver stagnates at a relative residual of about 4.7e-6; the fp64 solver
+needs 12,967 iterations; GMRES-IR needs 263 cycles (13,150 iterations) and
+its convergence curve closely follows the fp64 curve.
+
+The report contains one row per solver with iteration count, final
+residual and the stagnation level, plus a down-sampled convergence series
+for each solver (the actual curves of the figure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..matrices import bentpipe2d
+from ..solvers import gmres, gmres_ir
+from .common import ExperimentConfig, ExperimentReport, solve_on_scaled_device
+
+__all__ = ["run", "PAPER_REFERENCE", "convergence_series"]
+
+PAPER_GRID = 1500
+PAPER_N = PAPER_GRID ** 2
+
+PAPER_REFERENCE = {
+    "problem": "BentPipe2D1500 (2.25e6 unknowns, nnz 11.2e6), GMRES(50), tol 1e-10",
+    "fp32 stagnation level": "about 4.7e-6 relative residual",
+    "fp64 iterations": 12967,
+    "GMRES-IR iterations": "13150 (263 cycles of 50)",
+    "conclusion": "the multiprecision solver's convergence follows the fp64 curve closely",
+}
+
+
+def convergence_series(result, max_points: int = 200) -> List[Dict[str, float]]:
+    """Down-sample a solver's implicit-residual history for plotting/reports."""
+    its = np.asarray(result.history.implicit_iterations, dtype=np.int64)
+    norms = np.asarray(result.history.implicit_norms, dtype=np.float64)
+    if its.size == 0:
+        return []
+    stride = max(1, its.size // max_points)
+    return [
+        {"iteration": int(i), "relative residual": float(r)}
+        for i, r in zip(its[::stride], norms[::stride])
+    ]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    grid: Optional[int] = None,
+    max_restarts: int = 400,
+) -> ExperimentReport:
+    """Run the Figure 3 convergence comparison on the scaled BentPipe2D problem."""
+    cfg = config or ExperimentConfig()
+    grid = grid if grid is not None else cfg.pick(96, 64)
+    matrix = bentpipe2d(grid)
+    m = cfg.restart
+
+    single = solve_on_scaled_device(
+        gmres, matrix, PAPER_N,
+        precision="single", restart=m, tol=cfg.tol, max_restarts=max_restarts,
+    )
+    double = solve_on_scaled_device(
+        gmres, matrix, PAPER_N,
+        precision="double", restart=m, tol=cfg.tol, max_restarts=max_restarts,
+    )
+    mixed = solve_on_scaled_device(
+        gmres_ir, matrix, PAPER_N,
+        restart=m, tol=cfg.tol, max_restarts=max_restarts,
+    )
+
+    rows = []
+    for label, result in (
+        ("GMRES fp32", single),
+        ("GMRES fp64", double),
+        ("GMRES-IR", mixed),
+    ):
+        rows.append(
+            {
+                "solver": label,
+                "status": result.status.value,
+                "iterations": result.iterations,
+                "final relative residual": result.relative_residual,
+                "best true residual": result.history.best_explicit(),
+                "solve time [model s]": result.model_seconds,
+            }
+        )
+
+    report = ExperimentReport(
+        experiment="Figure 3",
+        title="Convergence of fp32 / fp64 / GMRES-IR on BentPipe2D",
+        rows=rows,
+        columns=[
+            "solver",
+            "status",
+            "iterations",
+            "final relative residual",
+            "best true residual",
+            "solve time [model s]",
+        ],
+        parameters={
+            "matrix": matrix.name,
+            "n": matrix.n_rows,
+            "nnz": matrix.nnz,
+            "restart": m,
+            "tolerance": cfg.tol,
+        },
+        paper_reference=PAPER_REFERENCE,
+        notes=[
+            f"scaled problem: grid {grid} vs paper grid {PAPER_GRID}",
+            "IR follows fp64: iteration counts within "
+            f"{abs(mixed.iterations - double.iterations)} of each other; "
+            f"fp32 stagnates near {single.relative_residual_fp64:.1e}",
+        ],
+    )
+    # Attach the convergence curves for plotting / inspection.
+    report.parameters["series"] = {
+        "single": convergence_series(single),
+        "double": convergence_series(double),
+        "gmres_ir": convergence_series(mixed),
+    }
+    return report

@@ -1,0 +1,31 @@
+"""Instrumented linear-algebra layer (the Kokkos-Kernels / Belos-adapter analogue).
+
+Every operation the solvers perform on length-``n`` data goes through the
+kernels in :mod:`repro.linalg.kernels`.  Each call
+
+1. executes the vectorised NumPy implementation (real IEEE arithmetic in the
+   requested precision — the numerics are *not* simulated), and
+2. charges its modelled GPU cost (from :class:`~repro.perfmodel.costs.KernelCostModel`)
+   and wall time to the active :class:`~repro.perfmodel.timer.KernelTimer`
+   under the same kernel labels the paper uses in its figures.
+
+:class:`~repro.linalg.multivector.MultiVector` plays the role of the
+Kokkos-based Belos ``MultiVector`` adapter described in Section IV of the
+paper: it owns the block of Krylov basis vectors and exposes the block
+operations (``V^T w``, ``w -= V y``) that dominate orthogonalization cost.
+"""
+
+from .context import ExecutionContext, get_context, set_context, use_device
+from .multivector import MultiVector
+from . import kernels
+from . import dense
+
+__all__ = [
+    "ExecutionContext",
+    "get_context",
+    "set_context",
+    "use_device",
+    "MultiVector",
+    "kernels",
+    "dense",
+]

@@ -1,0 +1,93 @@
+"""Execution context: which modelled device the kernels charge their cost to.
+
+The paper runs everything on one Tesla V100; correspondingly the library
+keeps a single active :class:`ExecutionContext` holding the
+:class:`~repro.perfmodel.costs.KernelCostModel` for the chosen device and a
+flag to disable metering entirely (pure-numerics tests don't need it).
+
+Experiments that run scaled-down problems install a *scaled* device (see
+:meth:`repro.perfmodel.device.DeviceSpec.scaled`) so that the modelled
+time breakdown of the small problem matches the breakdown the full-size
+problem would have on the real device.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from ..config import get_config
+from ..perfmodel.cache import CacheConfig
+from ..perfmodel.costs import KernelCostModel
+from ..perfmodel.device import DeviceSpec, get_device
+
+__all__ = ["ExecutionContext", "get_context", "set_context", "use_device"]
+
+
+class ExecutionContext:
+    """Holds the cost model and metering switch used by the kernels.
+
+    Parameters
+    ----------
+    device:
+        :class:`DeviceSpec` or device name (defaults to the library config,
+        i.e. the V100 of the paper's testbed).
+    meter:
+        If False, kernels skip all performance accounting.
+    cache_config:
+        Calibration of the SpMV L2 reuse model.
+    """
+
+    def __init__(
+        self,
+        device: Union[str, DeviceSpec, None] = None,
+        *,
+        meter: Optional[bool] = None,
+        cache_config: Optional[CacheConfig] = None,
+    ) -> None:
+        cfg = get_config()
+        if device is None:
+            device = cfg.device_name
+        if isinstance(device, str):
+            device = get_device(device)
+        self.device = device
+        self.meter = cfg.meter_kernels if meter is None else bool(meter)
+        self.cost_model = KernelCostModel(device, cache_config=cache_config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExecutionContext device={self.device.name!r} meter={self.meter}>"
+
+
+_CONTEXT: Optional[ExecutionContext] = None
+
+
+def get_context() -> ExecutionContext:
+    """Return the active execution context (created lazily from the config)."""
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = ExecutionContext()
+    return _CONTEXT
+
+
+def set_context(context: Optional[ExecutionContext] = None, **kwargs) -> ExecutionContext:
+    """Install a new execution context (or build one from keyword args)."""
+    global _CONTEXT
+    _CONTEXT = context if context is not None else ExecutionContext(**kwargs)
+    return _CONTEXT
+
+
+@contextmanager
+def use_device(
+    device: Union[str, DeviceSpec],
+    *,
+    meter: Optional[bool] = None,
+    cache_config: Optional[CacheConfig] = None,
+) -> Iterator[ExecutionContext]:
+    """Temporarily switch the modelled device (context manager)."""
+    global _CONTEXT
+    previous = _CONTEXT
+    _CONTEXT = ExecutionContext(device, meter=meter, cache_config=cache_config)
+    try:
+        yield _CONTEXT
+    finally:
+        _CONTEXT = previous

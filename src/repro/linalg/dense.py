@@ -1,0 +1,182 @@
+"""Small host-side dense operations for the GMRES least-squares problem.
+
+In the Belos implementation these run on the CPU in the solver's scalar
+type (the Hessenberg matrix is tiny — ``(m+1) × m`` with ``m ≈ 25…400``) and
+the paper files their cost under "Other".  The same split is kept here:
+
+* Givens-rotation based incremental QR of the Hessenberg matrix, which both
+  updates the least-squares problem one column at a time and yields the
+  *implicit* residual norm GMRES monitors every iteration;
+* back substitution for the triangular solve at the end of a cycle;
+* a plain dense least-squares fallback used by tests as an oracle.
+
+All routines work in the dtype of their inputs so a single-precision solver
+really does its Hessenberg arithmetic in fp32 (this matters for the
+loss-of-accuracy behaviour studied in Section V-F).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .kernels import meter_host_dense
+
+__all__ = [
+    "givens_rotation",
+    "apply_givens_column",
+    "back_substitute",
+    "hessenberg_lstsq",
+    "GivensWorkspace",
+]
+
+
+def givens_rotation(a: float, b: float, dtype=np.float64) -> Tuple[float, float]:
+    """Compute ``(c, s)`` such that ``[c s; -s c]^T [a; b] = [r; 0]``.
+
+    Uses the standard hypot-free formulation that avoids overflow; the
+    arithmetic is carried out in ``dtype``.
+    """
+    scalar = np.dtype(dtype).type
+    a = scalar(a)
+    b = scalar(b)
+    one = scalar(1.0)
+    if b == 0:
+        return 1.0, 0.0
+    if abs(b) > abs(a):
+        t = -a / b
+        s = one / np.sqrt(one + t * t)
+        c = s * t
+    else:
+        t = -b / a
+        c = one / np.sqrt(one + t * t)
+        s = c * t
+    return float(c), float(s)
+
+
+class GivensWorkspace:
+    """Incremental QR of the GMRES Hessenberg matrix via Givens rotations.
+
+    Maintains, in the working dtype:
+
+    * ``R`` — the upper-triangular factor (capacity ``m × m``),
+    * ``g`` — the rotated right-hand side ``Q^T (beta e_1)``, whose trailing
+      entry's magnitude is the *implicit* residual norm, and
+    * the rotation cosines/sines applied so far.
+
+    This is exactly the piece of GMRES the paper's "Other" bucket times on
+    the host.
+    """
+
+    def __init__(self, max_size: int, dtype=np.float64) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.dtype = np.dtype(dtype)
+        self.max_size = max_size
+        self.R = np.zeros((max_size + 1, max_size), dtype=self.dtype)
+        self.g = np.zeros(max_size + 1, dtype=self.dtype)
+        self.cosines = np.zeros(max_size, dtype=self.dtype)
+        self.sines = np.zeros(max_size, dtype=self.dtype)
+        self.size = 0
+
+    def reset(self, beta: float) -> None:
+        """Start a new cycle with initial residual norm ``beta``."""
+        self.R[:] = 0
+        self.g[:] = 0
+        self.g[0] = self.dtype.type(beta)
+        self.size = 0
+
+    def append_column(self, h: np.ndarray, h_next: float) -> float:
+        """Add Hessenberg column ``[h; h_next]`` and return the implicit residual norm.
+
+        Parameters
+        ----------
+        h:
+            The first ``j+1`` entries of column ``j`` (``j = self.size``).
+        h_next:
+            The subdiagonal entry ``h_{j+1, j}``.
+        """
+        j = self.size
+        if j >= self.max_size:
+            raise RuntimeError("GivensWorkspace is full")
+        col = self.R[:, j]
+        col[: j + 1] = np.asarray(h, dtype=self.dtype)[: j + 1]
+        col[j + 1] = self.dtype.type(h_next)
+
+        # Apply all previous rotations to the new column.
+        for i in range(j):
+            c, s = self.cosines[i], self.sines[i]
+            temp = c * col[i] - s * col[i + 1]
+            col[i + 1] = s * col[i] + c * col[i + 1]
+            col[i] = temp
+
+        # Compute and apply the new rotation annihilating col[j+1].
+        c, s = givens_rotation(float(col[j]), float(col[j + 1]), dtype=self.dtype)
+        c = self.dtype.type(c)
+        s = self.dtype.type(s)
+        self.cosines[j], self.sines[j] = c, s
+        col[j] = c * col[j] - s * col[j + 1]
+        col[j + 1] = 0
+
+        g_j = self.g[j]
+        self.g[j] = c * g_j
+        self.g[j + 1] = s * g_j
+        self.size = j + 1
+
+        meter_host_dense(6 * (j + 1))
+        return float(abs(self.g[j + 1]))
+
+    @property
+    def implicit_residual_norm(self) -> float:
+        """Magnitude of the trailing rotated right-hand-side entry."""
+        return float(abs(self.g[self.size]))
+
+    def solve(self) -> np.ndarray:
+        """Solve the triangular system for the Krylov coefficients ``y``."""
+        j = self.size
+        y = back_substitute(self.R[:j, :j], self.g[:j])
+        meter_host_dense(j * j)
+        return y
+
+
+def back_substitute(R: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``R y = b`` for upper-triangular ``R`` in the dtype of ``R``.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If a diagonal entry is exactly zero (happens only on lucky breakdown
+        with an exactly-consistent system; callers treat it separately).
+    """
+    R = np.asarray(R)
+    b = np.asarray(b, dtype=R.dtype)
+    n = R.shape[0]
+    if R.shape != (n, n) or b.shape != (n,):
+        raise ValueError("back_substitute expects square R and matching b")
+    y = np.zeros(n, dtype=R.dtype)
+    for i in range(n - 1, -1, -1):
+        diag = R[i, i]
+        if diag == 0:
+            raise ZeroDivisionError("singular triangular factor in GMRES projection")
+        y[i] = (b[i] - np.dot(R[i, i + 1 :], y[i + 1 :])) / diag
+    return y
+
+
+def hessenberg_lstsq(H: np.ndarray, beta: float) -> Tuple[np.ndarray, float]:
+    """Dense least-squares oracle: ``min_y || beta e_1 - H y ||``.
+
+    Used in tests to validate the incremental Givens machinery; returns the
+    minimiser and the residual norm.  Computation is done in float64
+    regardless of input dtype (it is an oracle, not a modelled kernel).
+    """
+    H = np.asarray(H, dtype=np.float64)
+    rows, cols = H.shape
+    rhs = np.zeros(rows)
+    rhs[0] = beta
+    y, residuals, _rank, _sv = np.linalg.lstsq(H, rhs, rcond=None)
+    if residuals.size:
+        res_norm = float(np.sqrt(residuals[0]))
+    else:
+        res_norm = float(np.linalg.norm(rhs - H @ y))
+    return y, res_norm

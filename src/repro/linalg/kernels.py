@@ -1,0 +1,346 @@
+"""Instrumented linear-algebra kernels.
+
+These are the operations the paper's figures time individually:
+
+==================  =====================================================
+label               operation
+==================  =====================================================
+``SpMV``            ``y = A x`` on the CSR matrix
+``GEMV (Trans)``    ``h = V^T w`` — the inner-product pass of CGS
+``GEMV (No Trans)`` ``w = w - V h`` — the update pass of CGS
+``Norm``            2-norms and single dot products
+``Other``           axpy/scal/copy/cast, host-side dense work, fp64
+                    residual computation in GMRES-IR
+``Precond``         preconditioner applications (polynomial / block Jacobi)
+==================  =====================================================
+
+Each function executes the actual NumPy computation in the precision of its
+operands (the numerics are real), measures wall time, asks the active
+:class:`~repro.perfmodel.costs.KernelCostModel` for the modelled GPU cost,
+and records both into every timer on the active timer stack.
+
+Precision discipline: operands must share one dtype.  Mixing fp32 and fp64
+operands raises — exactly the restriction the Belos/Tpetra stack imposes
+(Section IV: "these templates assume that all operations are carried out in
+the same scalar type").  Cross-precision data movement must go through
+:func:`cast`, which is metered separately, mirroring how the paper counts
+the casting overhead of mixed-precision preconditioning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..perfmodel.costs import CostEstimate
+from ..perfmodel.timer import active_timers
+from ..precision import as_precision
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import spmv as _raw_spmv
+from .context import get_context
+
+__all__ = [
+    "spmv",
+    "gemv_transpose",
+    "gemv_notrans",
+    "dot",
+    "norm2",
+    "axpy",
+    "scal",
+    "copy",
+    "cast",
+    "diag_scale",
+    "block_diag_solve",
+    "meter_cast",
+    "meter_host_dense",
+    "meter_host_transfer",
+    "PrecisionMismatchError",
+]
+
+
+class PrecisionMismatchError(TypeError):
+    """Raised when a kernel receives operands of different precisions."""
+
+
+def _precision_name(dtype: np.dtype) -> str:
+    return as_precision(dtype).name
+
+
+def _record(label: str, dtype: np.dtype, cost: CostEstimate, wall: float) -> None:
+    timers = active_timers()
+    if not timers:
+        return
+    prec = _precision_name(dtype)
+    for timer in timers:
+        timer.record(label, prec, cost, wall)
+
+
+def _check_same_dtype(*arrays: np.ndarray) -> np.dtype:
+    dtypes = {a.dtype for a in arrays}
+    if len(dtypes) != 1:
+        raise PrecisionMismatchError(
+            f"kernel operands must share one precision, got {sorted(d.name for d in dtypes)}; "
+            "use repro.linalg.kernels.cast to convert explicitly"
+        )
+    return arrays[0].dtype
+
+
+# ---------------------------------------------------------------------- #
+# sparse                                                                 #
+# ---------------------------------------------------------------------- #
+def spmv(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "SpMV",
+) -> np.ndarray:
+    """Metered CSR matrix–vector product ``y = A x``."""
+    x = np.asarray(x)
+    _check_same_dtype(matrix.data, x)
+    ctx = get_context()
+    start = time.perf_counter()
+    y = _raw_spmv(matrix.data, matrix.indices, matrix.indptr, x, out=out)
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.spmv(
+            matrix.n_rows,
+            matrix.n_cols,
+            matrix.nnz,
+            matrix.dtype.itemsize,
+            matrix.bandwidth(),
+        )
+        _record(label, matrix.dtype, cost, wall)
+    return y
+
+
+# ---------------------------------------------------------------------- #
+# dense block (orthogonalization) kernels                                #
+# ---------------------------------------------------------------------- #
+def gemv_transpose(V: np.ndarray, w: np.ndarray, *, label: str = "GEMV (Trans)") -> np.ndarray:
+    """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k)."""
+    V = np.asarray(V)
+    w = np.asarray(w)
+    dtype = _check_same_dtype(V, w)
+    ctx = get_context()
+    start = time.perf_counter()
+    h = V.T @ w
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=True)
+        _record(label, dtype, cost, wall)
+    return h
+
+
+def gemv_notrans(
+    V: np.ndarray,
+    h: np.ndarray,
+    w: np.ndarray,
+    *,
+    label: str = "GEMV (No Trans)",
+) -> np.ndarray:
+    """``w = w - V h`` (in place on ``w``) for a tall-skinny block ``V``."""
+    V = np.asarray(V)
+    h = np.asarray(h)
+    dtype = _check_same_dtype(V, h, np.asarray(w))
+    ctx = get_context()
+    start = time.perf_counter()
+    w -= V @ h
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=False)
+        _record(label, dtype, cost, wall)
+    return w
+
+
+# ---------------------------------------------------------------------- #
+# vector kernels                                                         #
+# ---------------------------------------------------------------------- #
+def dot(x: np.ndarray, y: np.ndarray, *, label: str = "Norm") -> float:
+    """Metered dot product (grouped with norms in the paper's figures)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    dtype = _check_same_dtype(x, y)
+    ctx = get_context()
+    start = time.perf_counter()
+    value = float(np.dot(x, y))
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.dot(x.size, dtype.itemsize)
+        _record(label, dtype, cost, wall)
+    return value
+
+
+def norm2(x: np.ndarray, *, label: str = "Norm") -> float:
+    """Metered Euclidean norm.
+
+    The accumulation happens in the vector's own precision (an fp32 norm is
+    an fp32 reduction followed by a square root), matching the behaviour of
+    a templated Belos solver.
+    """
+    x = np.asarray(x)
+    dtype = x.dtype
+    ctx = get_context()
+    start = time.perf_counter()
+    # Accumulate in the working dtype (np.dot keeps the dtype), then sqrt.
+    value = float(np.sqrt(np.dot(x, x)))
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.norm2(x.size, dtype.itemsize)
+        _record(label, dtype, cost, wall)
+    return value
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray, *, label: str = "axpy") -> np.ndarray:
+    """``y += alpha * x`` in place (metered under "Other")."""
+    x = np.asarray(x)
+    dtype = _check_same_dtype(x, np.asarray(y))
+    ctx = get_context()
+    start = time.perf_counter()
+    y += dtype.type(alpha) * x
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
+        _record(label, dtype, cost, wall)
+    return y
+
+
+def scal(alpha: float, x: np.ndarray, *, label: str = "scal") -> np.ndarray:
+    """``x *= alpha`` in place (metered under "Other")."""
+    x = np.asarray(x)
+    ctx = get_context()
+    start = time.perf_counter()
+    x *= x.dtype.type(alpha)
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.scal(x.size, x.dtype.itemsize)
+        _record(label, x.dtype, cost, wall)
+    return x
+
+
+def copy(x: np.ndarray, out: Optional[np.ndarray] = None, *, label: str = "copy") -> np.ndarray:
+    """Metered vector copy (same precision)."""
+    x = np.asarray(x)
+    ctx = get_context()
+    start = time.perf_counter()
+    if out is None:
+        result = x.copy()
+    else:
+        _check_same_dtype(x, np.asarray(out))
+        out[:] = x
+        result = out
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.copy(x.size, x.dtype.itemsize)
+        _record(label, x.dtype, cost, wall)
+    return result
+
+
+def cast(x: np.ndarray, precision, *, label: str = "cast") -> np.ndarray:
+    """Convert a vector to another precision (metered under "Other").
+
+    This is the explicit precision boundary: GMRES-IR casts the fp64
+    residual down to fp32 before handing it to the inner solver and casts
+    the fp32 correction back up; fp32 preconditioning of an fp64 solver
+    casts the vector on every preconditioner application.  The paper counts
+    these casts in the reported solve times, so they are metered.
+    """
+    x = np.asarray(x)
+    prec = as_precision(precision)
+    if x.dtype == prec.dtype:
+        return x
+    ctx = get_context()
+    start = time.perf_counter()
+    result = x.astype(prec.dtype)
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.cast(x.size, x.dtype.itemsize, prec.bytes)
+        # Record under the *wider* precision so mixed casts are attributed
+        # consistently; they all land in the "Other" bucket anyway.
+        wide = x.dtype if x.dtype.itemsize >= prec.bytes else prec.dtype
+        _record(label, wide, cost, wall)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# preconditioner application kernels                                     #
+# ---------------------------------------------------------------------- #
+def diag_scale(scale: np.ndarray, x: np.ndarray, *, label: str = "Precond") -> np.ndarray:
+    """Elementwise product ``scale * x`` — the point-Jacobi application."""
+    scale = np.asarray(scale)
+    x = np.asarray(x)
+    dtype = _check_same_dtype(scale, x)
+    ctx = get_context()
+    start = time.perf_counter()
+    result = scale * x
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
+        _record(label, dtype, cost, wall)
+    return result
+
+
+def block_diag_solve(
+    inv_blocks: np.ndarray, x: np.ndarray, *, label: str = "Precond"
+) -> np.ndarray:
+    """Apply a block-diagonal operator stored as explicit inverse blocks.
+
+    ``inv_blocks`` has shape ``(n_blocks, k, k)``; ``x`` has length
+    ``n_blocks * k`` (zero-padded by the caller if needed).  The modelled
+    cost treats the operation as a blocked SpMV with ``n_blocks * k * k``
+    nonzeros (the block-Jacobi apply is memory bound, like everything else
+    in the solver).
+    """
+    inv_blocks = np.asarray(inv_blocks)
+    x = np.asarray(x)
+    dtype = _check_same_dtype(inv_blocks, x)
+    n_blocks, k, k2 = inv_blocks.shape
+    if k != k2 or x.size != n_blocks * k:
+        raise ValueError("block_diag_solve: inconsistent block/vector shapes")
+    ctx = get_context()
+    start = time.perf_counter()
+    result = np.einsum("bij,bj->bi", inv_blocks, x.reshape(n_blocks, k)).reshape(-1)
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.spmv(
+            n_rows=x.size,
+            n_cols=x.size,
+            nnz=n_blocks * k * k,
+            value_bytes=dtype.itemsize,
+            matrix_bandwidth=k,
+        )
+        _record(label, dtype, cost, wall)
+    return result.astype(dtype, copy=False)
+
+
+# ---------------------------------------------------------------------- #
+# pure-metering helpers (no computation)                                 #
+# ---------------------------------------------------------------------- #
+def meter_cast(n: int, from_bytes: int, to_bytes: int, *, label: str = "cast") -> None:
+    """Charge the cost of converting ``n`` values without doing it here."""
+    ctx = get_context()
+    if not ctx.meter:
+        return
+    cost = ctx.cost_model.cast(n, from_bytes, to_bytes)
+    dtype = np.dtype(np.float64 if max(from_bytes, to_bytes) >= 8 else np.float32)
+    _record(label, dtype, cost, 0.0)
+
+
+def meter_host_dense(work_elements: int, *, label: str = "host", wall: float = 0.0) -> None:
+    """Charge a small host-side dense operation (Givens sweep etc.)."""
+    ctx = get_context()
+    if not ctx.meter:
+        return
+    cost = ctx.cost_model.host_dense_op(work_elements)
+    _record(label, np.dtype(np.float64), cost, wall)
+
+
+def meter_host_transfer(nbytes: float, *, label: str = "host") -> None:
+    """Charge a host↔device transfer of ``nbytes`` bytes."""
+    ctx = get_context()
+    if not ctx.meter:
+        return
+    cost = ctx.cost_model.host_transfer(nbytes)
+    _record(label, np.dtype(np.float64), cost, 0.0)

@@ -1,0 +1,51 @@
+"""Test-problem generators.
+
+Two families, mirroring the paper's evaluation:
+
+* :mod:`repro.matrices.galeri` — finite-difference PDE problems generated
+  the way the paper generates them with the Trilinos Galeri package:
+  Laplace2D/3D, UniFlow2D (uniform-flow convection–diffusion), BentPipe2D
+  (recirculating, convection-dominated flow) and Stretched2D (Laplacian on
+  a stretched grid).
+* :mod:`repro.matrices.suitesparse_proxies` — synthetic stand-ins for the
+  SuiteSparse matrices of Table III (no network access to the collection
+  here); each proxy documents the original matrix's statistics and
+  reproduces its structural profile (symmetry, nonzeros per row, relative
+  difficulty) at a reduced dimension.
+
+:mod:`repro.matrices.registry` maps problem names to generators so the
+experiment harness and benchmarks can look problems up by the names used in
+the paper.
+"""
+
+from .stencil import assemble_stencil_2d, assemble_stencil_3d, grid_shape_2d, grid_shape_3d
+from .galeri import (
+    laplace2d,
+    laplace3d,
+    uniflow2d,
+    bentpipe2d,
+    stretched2d,
+    convection_diffusion_2d,
+)
+from .suitesparse_proxies import ProxySpec, PROXY_SPECS, build_proxy, list_proxies
+from .registry import get_problem, list_problems, ProblemRecord
+
+__all__ = [
+    "assemble_stencil_2d",
+    "assemble_stencil_3d",
+    "grid_shape_2d",
+    "grid_shape_3d",
+    "laplace2d",
+    "laplace3d",
+    "uniflow2d",
+    "bentpipe2d",
+    "stretched2d",
+    "convection_diffusion_2d",
+    "ProxySpec",
+    "PROXY_SPECS",
+    "build_proxy",
+    "list_proxies",
+    "get_problem",
+    "list_problems",
+    "ProblemRecord",
+]

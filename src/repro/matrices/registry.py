@@ -1,0 +1,122 @@
+"""Name → problem registry used by experiments, examples and benchmarks.
+
+Looks up both the Galeri-style PDE problems (by the names the paper uses,
+e.g. ``"BentPipe2D"``, ``"Laplace3D"``) and the Table III SuiteSparse
+proxies.  Each record bundles the generator with the paper's reference
+statistics so reports can print paper-vs-measured rows without duplicating
+the numbers in every experiment module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sparse.csr import CsrMatrix
+from . import galeri
+from .suitesparse_proxies import PROXY_SPECS
+
+__all__ = ["ProblemRecord", "get_problem", "list_problems"]
+
+
+@dataclass(frozen=True)
+class ProblemRecord:
+    """A named test problem.
+
+    ``builder(size)`` constructs the matrix; ``size`` means grid points per
+    side for the PDE problems and total unknowns for the proxies.
+    ``paper_size`` records the size used in the paper (same units).
+    """
+
+    name: str
+    kind: str  # "galeri" or "suitesparse-proxy"
+    builder: Callable[[int], CsrMatrix]
+    default_size: int
+    paper_size: Optional[int] = None
+    symmetry: str = "n"
+    description: str = ""
+
+
+def _galeri_records() -> List[ProblemRecord]:
+    return [
+        ProblemRecord(
+            name="Laplace2D",
+            kind="galeri",
+            builder=lambda n: galeri.laplace2d(n),
+            default_size=64,
+            paper_size=None,
+            symmetry="spd",
+            description="5-point 2D Poisson operator.",
+        ),
+        ProblemRecord(
+            name="Laplace3D",
+            kind="galeri",
+            builder=lambda n: galeri.laplace3d(n),
+            default_size=24,
+            paper_size=150,
+            symmetry="spd",
+            description="7-point 3D Poisson operator (Laplace3D150/200 in the paper).",
+        ),
+        ProblemRecord(
+            name="UniFlow2D",
+            kind="galeri",
+            builder=lambda n: galeri.uniflow2d(n),
+            default_size=96,
+            paper_size=2500,
+            symmetry="n",
+            description="Uniform-flow convection-diffusion (UniFlow2D2500).",
+        ),
+        ProblemRecord(
+            name="BentPipe2D",
+            kind="galeri",
+            builder=lambda n: galeri.bentpipe2d(n),
+            default_size=96,
+            paper_size=1500,
+            symmetry="n",
+            description="Recirculating convection-dominated flow (BentPipe2D1500).",
+        ),
+        ProblemRecord(
+            name="Stretched2D",
+            kind="galeri",
+            builder=lambda n: galeri.stretched2d(n),
+            default_size=96,
+            paper_size=1500,
+            symmetry="spd",
+            description="Stretched-grid Laplacian (Stretched2D1500); needs preconditioning.",
+        ),
+    ]
+
+
+def _registry() -> Dict[str, ProblemRecord]:
+    records = {rec.name.lower(): rec for rec in _galeri_records()}
+    for spec in PROXY_SPECS.values():
+        records[spec.name.lower()] = ProblemRecord(
+            name=spec.name,
+            kind="suitesparse-proxy",
+            builder=spec.build,
+            default_size=spec.default_dim,
+            paper_size=spec.original_n,
+            symmetry=spec.symmetry,
+            description=spec.notes,
+        )
+    return records
+
+
+_RECORDS = _registry()
+
+
+def list_problems(kind: Optional[str] = None) -> List[str]:
+    """All registered problem names, optionally filtered by kind."""
+    return [
+        rec.name
+        for rec in _RECORDS.values()
+        if kind is None or rec.kind == kind
+    ]
+
+
+def get_problem(name: str) -> ProblemRecord:
+    """Look up a problem record by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _RECORDS:
+        raise KeyError(f"unknown problem {name!r}; known: {sorted(r.name for r in _RECORDS.values())}")
+    return _RECORDS[key]

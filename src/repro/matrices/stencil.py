@@ -1,0 +1,163 @@
+"""Finite-difference stencil assembly on structured grids.
+
+The paper's PDE test problems are generated "with finite difference
+stencils via the Trilinos Galeri package"; these helpers play that role.
+Assembly is fully vectorised: coefficient arrays are laid out over the grid,
+neighbour links that would leave the domain are dropped (homogeneous
+Dirichlet boundaries), and the triplets go through
+:func:`repro.sparse.ops.coo_to_csr`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+
+__all__ = [
+    "grid_shape_2d",
+    "grid_shape_3d",
+    "assemble_stencil_2d",
+    "assemble_stencil_3d",
+]
+
+
+def grid_shape_2d(nx: int, ny: int | None = None) -> Tuple[int, int]:
+    """Normalise a 2D grid request (``ny`` defaults to ``nx``)."""
+    if nx <= 0:
+        raise ValueError("nx must be positive")
+    ny = nx if ny is None else ny
+    if ny <= 0:
+        raise ValueError("ny must be positive")
+    return nx, ny
+
+
+def grid_shape_3d(nx: int, ny: int | None = None, nz: int | None = None) -> Tuple[int, int, int]:
+    """Normalise a 3D grid request (``ny``/``nz`` default to ``nx``)."""
+    if nx <= 0:
+        raise ValueError("nx must be positive")
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if ny <= 0 or nz <= 0:
+        raise ValueError("ny and nz must be positive")
+    return nx, ny, nz
+
+
+def _node_ids_2d(nx: int, ny: int) -> np.ndarray:
+    """Unknown numbering: row-major over (iy, ix)."""
+    return np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+
+
+def assemble_stencil_2d(
+    center: np.ndarray,
+    east: np.ndarray,
+    west: np.ndarray,
+    north: np.ndarray,
+    south: np.ndarray,
+    *,
+    name: str = "stencil2d",
+) -> CsrMatrix:
+    """Assemble a 5-point operator from per-node link coefficients.
+
+    All arrays have shape ``(ny, nx)``; entry ``[iy, ix]`` of ``east`` is the
+    coefficient coupling node ``(ix, iy)`` to its eastern neighbour
+    ``(ix+1, iy)``, and so on.  Couplings across the boundary are dropped
+    (homogeneous Dirichlet conditions), which is also how Galeri's
+    ``Cross2D`` stencils behave.
+
+    Returns a float64 :class:`CsrMatrix` of dimension ``nx*ny``.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    ny, nx = center.shape
+    for arr, label in ((east, "east"), (west, "west"), (north, "north"), (south, "south")):
+        if np.asarray(arr).shape != (ny, nx):
+            raise ValueError(f"{label} coefficient array must have shape {(ny, nx)}")
+    ids = _node_ids_2d(nx, ny)
+    n = nx * ny
+
+    rows = [ids.ravel()]
+    cols = [ids.ravel()]
+    vals = [center.ravel()]
+
+    east = np.asarray(east, dtype=np.float64)
+    west = np.asarray(west, dtype=np.float64)
+    north = np.asarray(north, dtype=np.float64)
+    south = np.asarray(south, dtype=np.float64)
+
+    # east neighbour (ix+1): valid for ix < nx-1
+    rows.append(ids[:, :-1].ravel())
+    cols.append(ids[:, 1:].ravel())
+    vals.append(east[:, :-1].ravel())
+    # west neighbour (ix-1): valid for ix > 0
+    rows.append(ids[:, 1:].ravel())
+    cols.append(ids[:, :-1].ravel())
+    vals.append(west[:, 1:].ravel())
+    # north neighbour (iy+1): valid for iy < ny-1
+    rows.append(ids[:-1, :].ravel())
+    cols.append(ids[1:, :].ravel())
+    vals.append(north[:-1, :].ravel())
+    # south neighbour (iy-1): valid for iy > 0
+    rows.append(ids[1:, :].ravel())
+    cols.append(ids[:-1, :].ravel())
+    vals.append(south[1:, :].ravel())
+
+    return CsrMatrix.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (n, n), name=name
+    )
+
+
+def assemble_stencil_3d(
+    coefficients: Dict[str, np.ndarray],
+    *,
+    name: str = "stencil3d",
+) -> CsrMatrix:
+    """Assemble a 7-point operator from per-node link coefficients.
+
+    ``coefficients`` maps the keys ``"center", "east", "west", "north",
+    "south", "up", "down"`` to arrays of shape ``(nz, ny, nx)``.  Boundary
+    couplings are dropped (homogeneous Dirichlet).
+    """
+    required = {"center", "east", "west", "north", "south", "up", "down"}
+    missing = required - coefficients.keys()
+    if missing:
+        raise ValueError(f"missing stencil coefficients: {sorted(missing)}")
+    center = np.asarray(coefficients["center"], dtype=np.float64)
+    nz, ny, nx = center.shape
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in coefficients.items()}
+    for key, arr in arrays.items():
+        if arr.shape != (nz, ny, nx):
+            raise ValueError(f"{key} coefficient array must have shape {(nz, ny, nx)}")
+    ids = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    n = nx * ny * nz
+
+    rows = [ids.ravel()]
+    cols = [ids.ravel()]
+    vals = [center.ravel()]
+
+    # x-direction
+    rows.append(ids[:, :, :-1].ravel())
+    cols.append(ids[:, :, 1:].ravel())
+    vals.append(arrays["east"][:, :, :-1].ravel())
+    rows.append(ids[:, :, 1:].ravel())
+    cols.append(ids[:, :, :-1].ravel())
+    vals.append(arrays["west"][:, :, 1:].ravel())
+    # y-direction
+    rows.append(ids[:, :-1, :].ravel())
+    cols.append(ids[:, 1:, :].ravel())
+    vals.append(arrays["north"][:, :-1, :].ravel())
+    rows.append(ids[:, 1:, :].ravel())
+    cols.append(ids[:, :-1, :].ravel())
+    vals.append(arrays["south"][:, 1:, :].ravel())
+    # z-direction
+    rows.append(ids[:-1, :, :].ravel())
+    cols.append(ids[1:, :, :].ravel())
+    vals.append(arrays["up"][:-1, :, :].ravel())
+    rows.append(ids[1:, :, :].ravel())
+    cols.append(ids[:-1, :, :].ravel())
+    vals.append(arrays["down"][1:, :, :].ravel())
+
+    return CsrMatrix.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (n, n), name=name
+    )

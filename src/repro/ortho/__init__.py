@@ -1,0 +1,36 @@
+"""Orthogonalization managers for the Arnoldi process.
+
+The paper's GMRES uses two passes of classical Gram-Schmidt (CGS2), chosen
+because each pass is just two tall-skinny GEMV calls — ideal for GPUs —
+while the second pass restores the orthogonality a single CGS pass loses in
+finite precision.  Modified Gram-Schmidt (MGS) and single-pass CGS are
+provided for the ablation study (stability vs. kernel count).
+"""
+
+from .base import OrthogonalizationManager
+from .cgs import ClassicalGramSchmidt
+from .cgs2 import ClassicalGramSchmidt2
+from .mgs import ModifiedGramSchmidt
+
+__all__ = [
+    "OrthogonalizationManager",
+    "ClassicalGramSchmidt",
+    "ClassicalGramSchmidt2",
+    "ModifiedGramSchmidt",
+    "make_ortho_manager",
+]
+
+_REGISTRY = {
+    "cgs": ClassicalGramSchmidt,
+    "cgs1": ClassicalGramSchmidt,
+    "cgs2": ClassicalGramSchmidt2,
+    "mgs": ModifiedGramSchmidt,
+}
+
+
+def make_ortho_manager(name: str) -> OrthogonalizationManager:
+    """Build an orthogonalization manager by name (``"cgs"``, ``"cgs2"``, ``"mgs"``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown orthogonalization {name!r}; choose from {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()

@@ -1,0 +1,45 @@
+"""Interface shared by all orthogonalization managers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..linalg.multivector import MultiVector
+
+__all__ = ["OrthogonalizationManager"]
+
+
+class OrthogonalizationManager(abc.ABC):
+    """Orthogonalizes a new Arnoldi vector against the current basis.
+
+    Implementations orthogonalize ``w`` *in place* against the ``j`` vectors
+    stored in ``basis`` and return the projection coefficients plus the norm
+    of the remainder — i.e. Hessenberg column entries ``h_{1..j, j}`` and
+    the subdiagonal ``h_{j+1, j}``.  They do **not** normalize ``w``; the
+    solver does that so the scaling shows up under its own kernel label.
+    """
+
+    #: short name used in reports and the ablation benchmark
+    name: str = "ortho"
+
+    @abc.abstractmethod
+    def orthogonalize(
+        self, basis: MultiVector, w: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Orthogonalize ``w`` against ``basis`` in place.
+
+        Returns
+        -------
+        (h, h_next):
+            ``h`` — projection coefficients of length ``basis.count`` (the
+            new Hessenberg column), ``h_next`` — 2-norm of the orthogonalized
+            remainder (the subdiagonal entry).
+        """
+
+    def kernel_calls_per_vector(self, j: int) -> int:
+        """Approximate number of device kernel launches to orthogonalize
+        against ``j`` vectors (used by the ablation analysis)."""
+        raise NotImplementedError

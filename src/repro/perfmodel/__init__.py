@@ -1,0 +1,68 @@
+"""Modelled-GPU performance substrate.
+
+The paper's measurements were taken on an NVIDIA Tesla V100; this
+reproduction has no GPU, so every kernel call in :mod:`repro.linalg.kernels`
+is metered through an analytic performance model of that device.  The model
+is intentionally the *same* model the paper itself uses to explain its
+results (Section V-D): memory-bound kernels cost ``bytes_moved /
+bandwidth`` plus a fixed kernel-launch latency, and the byte traffic of the
+CSR SpMV depends on how well the right-hand-side vector is reused in the L2
+cache.
+
+Public pieces:
+
+* :class:`~repro.perfmodel.device.DeviceSpec` — bandwidth / cache / launch
+  latency numbers for V100 (default), A100, P100 and a generic host CPU.
+* :class:`~repro.perfmodel.costs.KernelCostModel` — per-kernel time
+  estimates.
+* :class:`~repro.perfmodel.timer.KernelTimer` — accumulates modelled and
+  wall-clock time per kernel label, the data behind every timing figure.
+* :mod:`~repro.perfmodel.spmv_model` — the paper's closed-form
+  ``5w/(2w+1)`` SpMV speedup model and its generalisations.
+* :mod:`~repro.perfmodel.cache` — L2 reuse estimation and a streaming
+  set-associative cache simulator for CSR access traces.
+"""
+
+from .device import DeviceSpec, get_device, KNOWN_DEVICES
+from .costs import KernelCostModel
+from .timer import (
+    KernelTimer,
+    KernelRecord,
+    active_timer,
+    active_timers,
+    push_timer,
+    pop_timer,
+    use_timer,
+    ORTHO_LABELS,
+    canonical_label,
+)
+from .spmv_model import (
+    csr_bytes_per_row_double,
+    csr_bytes_per_row_float,
+    predicted_spmv_speedup,
+    spmv_traffic,
+)
+from .cache import CacheConfig, estimate_x_reuse, simulate_stream_hit_rate
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "KNOWN_DEVICES",
+    "KernelCostModel",
+    "KernelTimer",
+    "KernelRecord",
+    "active_timer",
+    "active_timers",
+    "ORTHO_LABELS",
+    "canonical_label",
+    "push_timer",
+    "pop_timer",
+    "use_timer",
+    "csr_bytes_per_row_double",
+    "csr_bytes_per_row_float",
+    "predicted_spmv_speedup",
+    "spmv_traffic",
+    "CacheConfig",
+    "estimate_x_reuse",
+    "simulate_stream_hit_rate",
+]

@@ -1,0 +1,213 @@
+"""Device specifications for the analytic performance model.
+
+The numbers for the V100 match the testbed in Section V of the paper
+(Tesla V100, 16 GB) and NVIDIA's published specifications.  The model only
+needs a handful of quantities:
+
+* sustained device-memory bandwidth (the solver kernels are memory bound),
+* L2 cache capacity and line size (drives the SpMV right-hand-side reuse
+  model of Section V-D),
+* kernel launch latency (explains why small kernels such as ``norm`` see
+  much smaller fp32 speedups than the SpMV),
+* peak floating-point throughput per precision (only used as a sanity
+  bound; none of the GMRES kernels are compute bound), and
+* host↔device transfer bandwidth plus a fixed per-transfer latency (the
+  Belos framework forces small Hessenberg blocks back to the host each
+  iteration, which the paper files under "other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeviceSpec", "KNOWN_DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters consumed by :class:`~repro.perfmodel.costs.KernelCostModel`.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"v100"``, ``"a100"``, ``"p100"``, ``"host"``).
+    memory_bandwidth:
+        Sustained device (global) memory bandwidth in bytes/second.
+    l2_bytes:
+        L2 cache capacity in bytes.
+    l1_bytes:
+        Per-SM L1/shared capacity in bytes (aggregate effect folded into the
+        reuse model's residual-hit term).
+    cache_line_bytes:
+        Granularity of device-memory transactions.
+    launch_latency:
+        Fixed cost of launching one kernel, in seconds.
+    flops_fp64, flops_fp32, flops_fp16:
+        Peak arithmetic throughput per precision, in FLOP/s.
+    host_transfer_bandwidth:
+        Host↔device copy bandwidth in bytes/second (PCIe gen3 x16 / NVLink).
+    host_transfer_latency:
+        Fixed latency per host↔device copy, in seconds.
+    host_op_latency:
+        Fixed cost of a small host-side dense operation (e.g. applying Givens
+        rotations to the Hessenberg matrix), in seconds.
+    memory_bytes:
+        Device memory capacity in bytes (used for out-of-memory checks on
+        large restart lengths, cf. Section V-E).
+    """
+
+    name: str
+    memory_bandwidth: float
+    l2_bytes: int
+    l1_bytes: int
+    cache_line_bytes: int
+    launch_latency: float
+    flops_fp64: float
+    flops_fp32: float
+    flops_fp16: float
+    host_transfer_bandwidth: float
+    host_transfer_latency: float
+    host_op_latency: float
+    memory_bytes: int
+
+    def peak_flops(self, value_bytes: int) -> float:
+        """Peak FLOP/s for operands of the given byte width."""
+        if value_bytes >= 8:
+            return self.flops_fp64
+        if value_bytes >= 4:
+            return self.flops_fp32
+        return self.flops_fp16
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.name != "host"
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+        """Return a dimensionally scaled copy of this device.
+
+        The reproduction runs problems that are ``factor`` times smaller than
+        the paper's (pure-Python numerics cannot handle multi-million-row
+        grids in reasonable wall time).  To keep the *regime* of the modelled
+        device identical — the ratio of problem size to cache capacity, and
+        the ratio of fixed per-kernel overheads to streaming time — all
+        capacity-like and latency-like quantities are scaled by the same
+        factor while bandwidths and FLOP rates are left untouched.  Modelled
+        kernel-time *ratios* (speedups, breakdown percentages) of a scaled
+        problem on the scaled device then match those of the full-size
+        problem on the real device.
+
+        Parameters
+        ----------
+        factor:
+            Problem-size ratio ``n_scaled / n_paper`` (0 < factor <= 1 for a
+            scaled-down run; values > 1 extrapolate upwards).
+        name:
+            Optional name of the derived spec (defaults to
+            ``"<base>-x<factor>"``).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        from dataclasses import replace
+
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            l2_bytes=max(1, int(round(self.l2_bytes * factor))),
+            l1_bytes=max(1, int(round(self.l1_bytes * factor))),
+            memory_bytes=max(1, int(round(self.memory_bytes * factor))),
+            launch_latency=self.launch_latency * factor,
+            host_transfer_latency=self.host_transfer_latency * factor,
+            host_op_latency=self.host_op_latency * factor,
+        )
+
+
+#: Tesla V100 SXM2 16 GB — the paper's testbed.  Bandwidth is the sustained
+#: STREAM-like figure (~810 GB/s of the 900 GB/s peak); L2 is 6 MB.
+_V100 = DeviceSpec(
+    name="v100",
+    memory_bandwidth=810e9,
+    l2_bytes=6 * 1024 * 1024,
+    l1_bytes=128 * 1024 * 80,
+    cache_line_bytes=128,
+    launch_latency=8e-6,
+    flops_fp64=7.8e12,
+    flops_fp32=15.7e12,
+    flops_fp16=31.4e12,
+    host_transfer_bandwidth=12e9,
+    host_transfer_latency=10e-6,
+    host_op_latency=4e-6,
+    memory_bytes=16 * 1024**3,
+)
+
+_A100 = DeviceSpec(
+    name="a100",
+    memory_bandwidth=1.4e12,
+    l2_bytes=40 * 1024 * 1024,
+    l1_bytes=192 * 1024 * 108,
+    cache_line_bytes=128,
+    launch_latency=7e-6,
+    flops_fp64=9.7e12,
+    flops_fp32=19.5e12,
+    flops_fp16=78e12,
+    host_transfer_bandwidth=25e9,
+    host_transfer_latency=10e-6,
+    host_op_latency=4e-6,
+    memory_bytes=40 * 1024**3,
+)
+
+_P100 = DeviceSpec(
+    name="p100",
+    memory_bandwidth=550e9,
+    l2_bytes=4 * 1024 * 1024,
+    l1_bytes=64 * 1024 * 56,
+    cache_line_bytes=128,
+    launch_latency=10e-6,
+    flops_fp64=4.7e12,
+    flops_fp32=9.3e12,
+    flops_fp16=18.7e12,
+    host_transfer_bandwidth=12e9,
+    host_transfer_latency=12e-6,
+    host_op_latency=4e-6,
+    memory_bytes=16 * 1024**3,
+)
+
+#: A generic multicore host, used when modelling "non-GPU"/"other" work.
+_HOST = DeviceSpec(
+    name="host",
+    memory_bandwidth=80e9,
+    l2_bytes=32 * 1024 * 1024,
+    l1_bytes=32 * 1024 * 24,
+    cache_line_bytes=64,
+    launch_latency=0.0,
+    flops_fp64=1.0e12,
+    flops_fp32=2.0e12,
+    flops_fp16=2.0e12,
+    host_transfer_bandwidth=80e9,
+    host_transfer_latency=0.0,
+    host_op_latency=1e-6,
+    memory_bytes=256 * 1024**3,
+)
+
+KNOWN_DEVICES: Dict[str, DeviceSpec] = {
+    "v100": _V100,
+    "a100": _A100,
+    "p100": _P100,
+    "host": _HOST,
+}
+
+
+def get_device(name: str = "v100") -> DeviceSpec:
+    """Look up a device spec by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the device is unknown; the error message lists the known names.
+    """
+    key = name.lower()
+    if key not in KNOWN_DEVICES:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(KNOWN_DEVICES)}"
+        )
+    return KNOWN_DEVICES[key]

@@ -1,0 +1,148 @@
+r"""The paper's analytic CSR SpMV traffic / speedup model (Section V-D).
+
+For a CSR matrix with ``n`` rows and ``w`` nonzeros per row computing
+``y = A x``:
+
+* In **double** precision, assuming *no* cache reuse of the right-hand-side
+  vector ``x``, every nonzero forces a read of one 8-byte matrix value, one
+  4-byte column index, and one 8-byte entry of ``x``:
+
+  .. math:: B_{fp64} = n\,w\,(4 + 8 + 8) = 20\,w\,n .
+
+* In **single** precision, assuming *perfect* reuse of ``x`` (each element
+  read from device memory exactly once):
+
+  .. math:: B_{fp32} = n\,w\,(4 + 4) + 4\,n = (8w + 4)\,n .
+
+* Hence the predicted fp64 → fp32 speedup of a purely bandwidth-bound SpMV:
+
+  .. math:: S(w) = \frac{20 w}{8 w + 4} = \frac{5w}{2w + 1} \xrightarrow{w\to\infty} 2.5 .
+
+The module also provides the generalised traffic formula with an arbitrary
+reuse fraction, which is what the cost model actually uses: the two
+formulas above are the ``reuse=0`` and ``reuse=1`` special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "csr_bytes_per_row_double",
+    "csr_bytes_per_row_float",
+    "predicted_spmv_speedup",
+    "spmv_traffic",
+    "SpmvTraffic",
+]
+
+INDEX_BYTES = 4  #: the paper keeps 32-bit column indices in both precisions.
+
+
+def csr_bytes_per_row_double(w: float, index_bytes: int = INDEX_BYTES) -> float:
+    """Bytes moved per matrix row for fp64 SpMV with no ``x`` reuse (``20 w``)."""
+    return w * (index_bytes + 8 + 8)
+
+
+def csr_bytes_per_row_float(w: float, index_bytes: int = INDEX_BYTES) -> float:
+    """Bytes moved per matrix row for fp32 SpMV with perfect ``x`` reuse (``8w + 4``)."""
+    return w * (index_bytes + 4) + 4
+
+
+def predicted_spmv_speedup(w: float, index_bytes: int = INDEX_BYTES) -> float:
+    """The paper's closed-form fp64→fp32 SpMV speedup ``5w/(2w+1)``.
+
+    Parameters
+    ----------
+    w:
+        Average number of nonzeros per row.
+    index_bytes:
+        Byte width of the column index type (4 in the paper).
+
+    Examples
+    --------
+    >>> round(predicted_spmv_speedup(5), 3)   # UniFlow2D / BentPipe2D
+    2.273
+    >>> round(predicted_spmv_speedup(7), 3)   # Laplace3D
+    2.333
+    """
+    if w <= 0:
+        raise ValueError("w (nonzeros per row) must be positive")
+    num = csr_bytes_per_row_double(w, index_bytes)
+    den = csr_bytes_per_row_float(w, index_bytes)
+    return num / den
+
+
+@dataclass(frozen=True)
+class SpmvTraffic:
+    """Byte-traffic breakdown of one CSR SpMV."""
+
+    values_bytes: float
+    indices_bytes: float
+    x_bytes: float
+    rowptr_bytes: float
+    y_bytes: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.values_bytes
+            + self.indices_bytes
+            + self.x_bytes
+            + self.rowptr_bytes
+            + self.y_bytes
+        )
+
+
+def spmv_traffic(
+    n_rows: int,
+    nnz: int,
+    value_bytes: int,
+    x_reuse: float,
+    *,
+    index_bytes: int = INDEX_BYTES,
+    rowptr_bytes: int = INDEX_BYTES,
+    include_rowptr_and_y: bool = False,
+    n_cols: int | None = None,
+) -> SpmvTraffic:
+    """Generalised byte traffic of a CSR SpMV ``y = A x``.
+
+    Parameters
+    ----------
+    n_rows, nnz:
+        Matrix dimensions.
+    value_bytes:
+        Byte width of the matrix/vector values (4 for fp32, 8 for fp64).
+    x_reuse:
+        Fraction of ``x`` accesses served from cache, in ``[0, 1]``.
+        ``x_reuse=1`` means each element of ``x`` is read from device memory
+        exactly once (the paper's "perfect caching"); ``x_reuse=0`` means
+        every access goes to device memory.
+    include_rowptr_and_y:
+        The paper ignores row-pointer reads and ``y`` writes ("they account
+        for only a small fraction of all memory traffic"); pass ``True`` to
+        include them in the generalised model.
+    n_cols:
+        Number of columns (defaults to ``n_rows``); determines the size of
+        the compulsory ``x`` read under perfect reuse.
+    """
+    if not 0.0 <= x_reuse <= 1.0:
+        raise ValueError("x_reuse must lie in [0, 1]")
+    if n_cols is None:
+        n_cols = n_rows
+    values = float(nnz) * value_bytes
+    indices = float(nnz) * index_bytes
+    # Accesses to x: nnz total.  A fraction ``x_reuse`` hits in cache; the
+    # remainder goes to memory.  Under perfect reuse we still must stream the
+    # whole vector in once (compulsory misses).
+    x_from_memory = (1.0 - x_reuse) * float(nnz) * value_bytes
+    compulsory = float(n_cols) * value_bytes
+    x_bytes = max(x_from_memory, compulsory) if x_reuse > 0 else float(nnz) * value_bytes
+    rowptr = float(n_rows + 1) * rowptr_bytes if include_rowptr_and_y else 0.0
+    y = float(n_rows) * value_bytes if include_rowptr_and_y else 0.0
+    return SpmvTraffic(
+        values_bytes=values,
+        indices_bytes=indices,
+        x_bytes=x_bytes,
+        rowptr_bytes=rowptr,
+        y_bytes=y,
+    )

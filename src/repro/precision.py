@@ -1,0 +1,169 @@
+"""Floating-point precision descriptors and casting utilities.
+
+The paper studies mixing IEEE half (fp16), single (fp32) and double (fp64)
+precision inside GMRES.  This module provides a small registry of
+:class:`Precision` descriptors that the rest of the library uses instead of
+raw NumPy dtypes, so that
+
+* kernels can report *which* precision they ran in (the kernel-breakdown
+  figures in the paper are split by precision),
+* the performance model knows the byte width of every operand, and
+* casting between precisions is explicit and meterable (the paper includes
+  the residual-vector cast time in GMRES-IR solve times, but excludes the
+  one-time matrix copy; we need to account for both separately).
+
+Only real-valued precisions are supported, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "HALF",
+    "SINGLE",
+    "DOUBLE",
+    "PRECISIONS",
+    "as_precision",
+    "promote",
+    "unit_roundoff",
+]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Descriptor for one IEEE-754 floating-point precision.
+
+    Attributes
+    ----------
+    name:
+        Canonical short name (``"half"``, ``"single"``, ``"double"``).
+    dtype:
+        The corresponding NumPy dtype.
+    bytes:
+        Storage size of one scalar in bytes (2, 4 or 8).
+    epsilon:
+        Machine epsilon (gap between 1.0 and the next representable number).
+    digits:
+        Approximate number of significant decimal digits.
+    """
+
+    name: str
+    dtype: np.dtype
+    bytes: int
+    epsilon: float
+    digits: int
+
+    # ------------------------------------------------------------------ #
+    # convenience                                                        #
+    # ------------------------------------------------------------------ #
+    @property
+    def unit_roundoff(self) -> float:
+        """Unit roundoff ``u = eps / 2`` for round-to-nearest arithmetic."""
+        return self.epsilon / 2.0
+
+    @property
+    def numpy_name(self) -> str:
+        """NumPy's name for the dtype (``"float32"`` etc.)."""
+        return np.dtype(self.dtype).name
+
+    def astype(self, array: np.ndarray) -> np.ndarray:
+        """Return ``array`` converted to this precision (no copy if already)."""
+        return np.asarray(array, dtype=self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __lt__(self, other: "Precision") -> bool:
+        return self.bytes < other.bytes
+
+    def __le__(self, other: "Precision") -> bool:
+        return self.bytes <= other.bytes
+
+    def __gt__(self, other: "Precision") -> bool:
+        return self.bytes > other.bytes
+
+    def __ge__(self, other: "Precision") -> bool:
+        return self.bytes >= other.bytes
+
+
+def _make(name: str, dtype: type) -> Precision:
+    info = np.finfo(dtype)
+    return Precision(
+        name=name,
+        dtype=np.dtype(dtype),
+        bytes=np.dtype(dtype).itemsize,
+        epsilon=float(info.eps),
+        digits=int(info.precision),
+    )
+
+
+#: IEEE half precision (fp16) — the paper's "future work" third precision.
+HALF = _make("half", np.float16)
+#: IEEE single precision (fp32) — the paper's low working precision.
+SINGLE = _make("single", np.float32)
+#: IEEE double precision (fp64) — the paper's high/accumulation precision.
+DOUBLE = _make("double", np.float64)
+
+#: Registry of all supported precisions keyed by every accepted alias.
+PRECISIONS = {
+    "half": HALF,
+    "fp16": HALF,
+    "float16": HALF,
+    "single": SINGLE,
+    "float": SINGLE,
+    "fp32": SINGLE,
+    "float32": SINGLE,
+    "double": DOUBLE,
+    "fp64": DOUBLE,
+    "float64": DOUBLE,
+}
+
+PrecisionLike = Union[str, Precision, np.dtype, type]
+
+
+def as_precision(value: PrecisionLike) -> Precision:
+    """Coerce a string / dtype / ``Precision`` into a :class:`Precision`.
+
+    Parameters
+    ----------
+    value:
+        ``"single"``, ``"fp64"``, ``np.float32``, ``np.dtype("float64")`` or
+        an existing :class:`Precision`.
+
+    Raises
+    ------
+    ValueError
+        If the value does not name a supported real floating precision.
+    """
+    if isinstance(value, Precision):
+        return value
+    if isinstance(value, str):
+        key = value.lower()
+        if key in PRECISIONS:
+            return PRECISIONS[key]
+        raise ValueError(f"unknown precision name: {value!r}")
+    try:
+        dtype = np.dtype(value)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"cannot interpret {value!r} as a precision") from exc
+    if dtype.name in PRECISIONS:
+        return PRECISIONS[dtype.name]
+    raise ValueError(
+        f"unsupported dtype {dtype!r}; supported: float16, float32, float64"
+    )
+
+
+def promote(a: PrecisionLike, b: PrecisionLike) -> Precision:
+    """Return the wider of two precisions (the result type of mixed ops)."""
+    pa, pb = as_precision(a), as_precision(b)
+    return pa if pa.bytes >= pb.bytes else pb
+
+
+def unit_roundoff(value: PrecisionLike) -> float:
+    """Unit roundoff of the given precision (``eps/2``)."""
+    return as_precision(value).unit_roundoff

@@ -1,0 +1,39 @@
+"""Linear solvers: GMRES(m) and its multiprecision variants.
+
+* :func:`~repro.solvers.gmres.gmres` — restarted GMRES in one working
+  precision (the paper's Algorithm 1 / baseline).
+* :func:`~repro.solvers.gmres_ir.gmres_ir` — GMRES with iterative
+  refinement (Algorithm 2): fp32 inner cycles, fp64 refinement.
+* :func:`~repro.solvers.gmres_fd.gmres_fd` — the Float→Double switching
+  solver the paper compares against (Section III-C).
+* :func:`~repro.solvers.cg.cg` — preconditioned conjugate gradients for the
+  SPD problems.
+* :func:`~repro.solvers.ir_three_precision.gmres_ir_three_precision` —
+  half/single/double refinement, the paper's future-work extension.
+"""
+
+from .result import ConvergenceHistory, SolveResult, SolverStatus
+from .status import LossOfAccuracyTest, MaxIterationsTest, ResidualTest, StagnationTest
+from .gmres import gmres, run_gmres_cycle, GmresWorkspace, CycleOutcome
+from .gmres_ir import gmres_ir
+from .gmres_fd import gmres_fd
+from .cg import cg
+from .ir_three_precision import gmres_ir_three_precision
+
+__all__ = [
+    "ConvergenceHistory",
+    "SolveResult",
+    "SolverStatus",
+    "ResidualTest",
+    "MaxIterationsTest",
+    "LossOfAccuracyTest",
+    "StagnationTest",
+    "gmres",
+    "run_gmres_cycle",
+    "GmresWorkspace",
+    "CycleOutcome",
+    "gmres_ir",
+    "gmres_fd",
+    "cg",
+    "gmres_ir_three_precision",
+]

@@ -1,0 +1,234 @@
+"""Three-precision GMRES-IR (half / single / double) — the paper's future work.
+
+Section VI: "Since Kokkos is enabling support for half precision, we will
+also study ways to incorporate a third level of precision into the
+GMRES-IR solver while maintaining high accuracy."  This module implements
+one natural realisation of that idea as an extension experiment:
+
+* the **outer** loop refines in fp64 exactly as in GMRES-IR;
+* the **middle** level is an fp32 GMRES-IR that itself refines
+* an **inner** fp16 GMRES(m) cycle.
+
+fp16 has a tiny dynamic range (max ≈ 65504, unit roundoff ≈ 4.9e-4), so
+each residual handed to the half-precision solver is normalised to unit
+norm first and the correction is rescaled afterwards — the standard scaling
+safeguard for half-precision iterative refinement.  When the fp16 cycle
+fails to reduce the residual at all (which happens on badly conditioned
+problems), the middle level falls back to an fp32 cycle so the overall
+method keeps converging; the fallback count is reported in the result
+details, since "how often is fp16 actually usable" is the interesting
+question this extension probes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..config import get_config
+from ..linalg import kernels
+from ..ortho import OrthogonalizationManager, make_ortho_manager
+from ..perfmodel.timer import KernelTimer, use_timer
+from ..precision import Precision, as_precision
+from ..preconditioners.base import IdentityPreconditioner, Preconditioner
+from ..preconditioners.mixed import wrap_for_precision
+from ..sparse.csr import CsrMatrix
+from .gmres import GmresWorkspace, run_gmres_cycle, _fp64_relative_residual
+from .result import ConvergenceHistory, SolveResult, SolverStatus
+
+__all__ = ["gmres_ir_three_precision"]
+
+
+def gmres_ir_three_precision(
+    matrix: CsrMatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    *,
+    inner_precision: Union[str, Precision] = "half",
+    middle_precision: Union[str, Precision] = "single",
+    outer_precision: Union[str, Precision] = "double",
+    restart: Optional[int] = None,
+    tol: Optional[float] = None,
+    max_iterations: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    preconditioner: Optional[Preconditioner] = None,
+    ortho: Union[str, OrthogonalizationManager] = "cgs2",
+    timer: Optional[KernelTimer] = None,
+    name: Optional[str] = None,
+    fp64_check: bool = True,
+    improvement_threshold: float = 0.9,
+) -> SolveResult:
+    """Solve ``A x = b`` with half/single/double GMRES-IR.
+
+    Parameters
+    ----------
+    improvement_threshold:
+        An fp16 cycle is accepted when it reduces the (fp32-evaluated)
+        residual of its correction equation below ``threshold`` times the
+        starting norm; otherwise the cycle is redone in fp32 and counted as
+        a fallback.
+    Other parameters:
+        As in :func:`repro.solvers.gmres_ir.gmres_ir`.
+    """
+    cfg = get_config()
+    restart = cfg.restart if restart is None else int(restart)
+    tol = cfg.rtol if tol is None else float(tol)
+    max_restarts = cfg.max_restarts if max_restarts is None else int(max_restarts)
+    if max_iterations is None:
+        max_iterations = restart * max_restarts
+    inner = as_precision(inner_precision)
+    middle = as_precision(middle_precision)
+    outer = as_precision(outer_precision)
+    if not (inner.bytes <= middle.bytes <= outer.bytes):
+        raise ValueError("precisions must be ordered inner <= middle <= outer")
+    ortho_mgr = make_ortho_manager(ortho) if isinstance(ortho, str) else ortho
+    solver_name = name or f"gmres({restart})-ir3-{inner.name}/{middle.name}/{outer.name}"
+
+    A_outer = matrix.astype(outer)
+    A_middle = matrix.astype(middle)
+    A_inner = matrix.astype(inner)
+    n = A_outer.n_rows
+    b_outer = np.asarray(b, dtype=outer.dtype)
+    x = (
+        np.zeros(n, dtype=outer.dtype)
+        if x0 is None
+        else np.asarray(x0, dtype=outer.dtype).copy()
+    )
+
+    if preconditioner is None:
+        precond_mid: Preconditioner = IdentityPreconditioner(precision=middle)
+        precond_in: Preconditioner = IdentityPreconditioner(precision=inner)
+    else:
+        precond_mid = wrap_for_precision(preconditioner, middle)
+        precond_in = wrap_for_precision(preconditioner, inner)
+
+    ws_middle = GmresWorkspace(n, restart, middle)
+    ws_inner = GmresWorkspace(n, restart, inner)
+    history = ConvergenceHistory()
+    timer = timer or KernelTimer(solver_name)
+
+    status = SolverStatus.MAX_ITERATIONS
+    total_iterations = 0
+    refinements = 0
+    half_cycles = 0
+    fallback_cycles = 0
+    relative_residual = float("inf")
+
+    with use_timer(timer):
+        bnorm = kernels.norm2(b_outer)
+        if bnorm == 0.0:
+            return SolveResult(
+                x=np.zeros(n, dtype=outer.dtype),
+                status=SolverStatus.CONVERGED,
+                iterations=0,
+                restarts=0,
+                relative_residual=0.0,
+                relative_residual_fp64=0.0,
+                history=history,
+                timer=timer,
+                solver="gmres-ir3",
+                precision=f"{inner.name}/{middle.name}/{outer.name}",
+                details={},
+            )
+
+        while True:
+            w = kernels.spmv(A_outer, x, label="Residual")
+            r = kernels.copy(b_outer, label="Residual")
+            kernels.axpy(-1.0, w, r, label="Residual")
+            rnorm = kernels.norm2(r, label="Residual")
+            relative_residual = rnorm / bnorm
+            history.record_explicit(total_iterations, relative_residual)
+            if relative_residual <= tol:
+                status = SolverStatus.CONVERGED
+                break
+            if total_iterations >= max_iterations or refinements >= max_restarts:
+                status = SolverStatus.MAX_ITERATIONS
+                break
+
+            # Middle level: one correction in fp32, itself computed either by
+            # an fp16 cycle (scaled to unit norm) or by an fp32 fallback.
+            r_mid = kernels.cast(r, middle)
+            rnorm_mid = kernels.norm2(r_mid)
+
+            # --- try the half-precision inner cycle ----------------------- #
+            scale = rnorm_mid if rnorm_mid > 0 else 1.0
+            r_scaled = kernels.copy(r_mid)
+            kernels.scal(1.0 / scale, r_scaled)
+            r_half = kernels.cast(r_scaled, inner)
+            rnorm_half = kernels.norm2(r_half)
+            accepted = False
+            if np.isfinite(rnorm_half) and rnorm_half > 0:
+                outcome = run_gmres_cycle(
+                    A_inner,
+                    r_half,
+                    rnorm_half,
+                    ws_inner,
+                    ortho=ortho_mgr,
+                    preconditioner=precond_in,
+                    absolute_target=None,
+                    max_steps=min(restart, max_iterations - total_iterations),
+                )
+                update_half = outcome.update
+                if np.all(np.isfinite(update_half)):
+                    u_mid = kernels.cast(update_half, middle)
+                    kernels.scal(scale, u_mid)
+                    # Evaluate the achieved reduction in fp32.
+                    w_mid = kernels.spmv(A_middle, u_mid)
+                    check = kernels.copy(r_mid)
+                    kernels.axpy(-1.0, w_mid, check)
+                    achieved = kernels.norm2(check)
+                    if achieved <= improvement_threshold * rnorm_mid:
+                        accepted = True
+                        half_cycles += 1
+                        total_iterations += outcome.iterations
+                        for k, implicit_abs in enumerate(outcome.implicit_norms, start=1):
+                            history.record_implicit(
+                                total_iterations - outcome.iterations + k,
+                                implicit_abs * scale / bnorm,
+                            )
+                        correction_mid = u_mid
+
+            if not accepted:
+                # --- fp32 fallback cycle ---------------------------------- #
+                fallback_cycles += 1
+                outcome = run_gmres_cycle(
+                    A_middle,
+                    r_mid,
+                    rnorm_mid,
+                    ws_middle,
+                    ortho=ortho_mgr,
+                    preconditioner=precond_mid,
+                    absolute_target=None,
+                    max_steps=min(restart, max_iterations - total_iterations),
+                )
+                total_iterations += outcome.iterations
+                for k, implicit_abs in enumerate(outcome.implicit_norms, start=1):
+                    history.record_implicit(
+                        total_iterations - outcome.iterations + k, implicit_abs / bnorm
+                    )
+                correction_mid = outcome.update
+
+            u = kernels.cast(correction_mid, outer)
+            kernels.axpy(1.0, u, x, label="Residual")
+            refinements += 1
+
+    rel64 = _fp64_relative_residual(matrix, b, x) if fp64_check else relative_residual
+    return SolveResult(
+        x=x,
+        status=status,
+        iterations=total_iterations,
+        restarts=refinements,
+        relative_residual=relative_residual,
+        relative_residual_fp64=rel64,
+        history=history,
+        timer=timer,
+        solver="gmres-ir3",
+        precision=f"{inner.name}/{middle.name}/{outer.name}",
+        details={
+            "restart": restart,
+            "half_precision_cycles": half_cycles,
+            "fp32_fallback_cycles": fallback_cycles,
+            "preconditioner": precond_mid.name,
+        },
+    )

@@ -1,0 +1,172 @@
+"""Solver results and convergence histories.
+
+Every solver returns a :class:`SolveResult` carrying the solution, the
+status, iteration/restart counts, the per-kernel :class:`KernelTimer`
+(modelled GPU seconds and wall seconds), and a
+:class:`ConvergenceHistory` — the data behind the paper's convergence plots
+(Figures 3 and 6) and timing tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..perfmodel.timer import KernelTimer
+
+__all__ = ["SolverStatus", "ConvergenceHistory", "SolveResult"]
+
+
+class SolverStatus(str, enum.Enum):
+    """Terminal state of a solver run."""
+
+    CONVERGED = "converged"
+    MAX_ITERATIONS = "max_iterations"
+    LOSS_OF_ACCURACY = "loss_of_accuracy"
+    BREAKDOWN = "breakdown"
+    STAGNATION = "stagnation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ConvergenceHistory:
+    """Relative residual norms recorded during a solve.
+
+    Two series are kept:
+
+    * ``implicit`` — the cheap per-iteration estimate obtained from the
+      Givens-rotated Hessenberg system (what GMRES monitors every iteration),
+      recorded as ``(global_iteration, relative_norm)`` pairs;
+    * ``explicit`` — the true residual ``||b - A x|| / ||b||`` recomputed at
+      every restart / refinement step (and, for GMRES-IR, in fp64).
+
+    The divergence of the two series is exactly the "loss of accuracy"
+    phenomenon of Section V-F.
+    """
+
+    implicit_iterations: List[int] = field(default_factory=list)
+    implicit_norms: List[float] = field(default_factory=list)
+    explicit_iterations: List[int] = field(default_factory=list)
+    explicit_norms: List[float] = field(default_factory=list)
+
+    def record_implicit(self, iteration: int, relative_norm: float) -> None:
+        self.implicit_iterations.append(int(iteration))
+        self.implicit_norms.append(float(relative_norm))
+
+    def record_explicit(self, iteration: int, relative_norm: float) -> None:
+        self.explicit_iterations.append(int(iteration))
+        self.explicit_norms.append(float(relative_norm))
+
+    # -- convenience views ------------------------------------------------ #
+    def implicit_series(self) -> np.ndarray:
+        """``(k, 2)`` array of (iteration, relative norm) implicit samples."""
+        return np.column_stack(
+            [np.asarray(self.implicit_iterations, dtype=np.int64),
+             np.asarray(self.implicit_norms, dtype=np.float64)]
+        ) if self.implicit_iterations else np.empty((0, 2))
+
+    def explicit_series(self) -> np.ndarray:
+        """``(k, 2)`` array of (iteration, relative norm) explicit samples."""
+        return np.column_stack(
+            [np.asarray(self.explicit_iterations, dtype=np.int64),
+             np.asarray(self.explicit_norms, dtype=np.float64)]
+        ) if self.explicit_iterations else np.empty((0, 2))
+
+    def best_explicit(self) -> float:
+        """Smallest true relative residual seen (``inf`` if none recorded)."""
+        return min(self.explicit_norms) if self.explicit_norms else float("inf")
+
+    def merged_with(self, other: "ConvergenceHistory", iteration_offset: int = 0) -> "ConvergenceHistory":
+        """Concatenate two histories, shifting the second one's iterations."""
+        out = ConvergenceHistory(
+            implicit_iterations=list(self.implicit_iterations),
+            implicit_norms=list(self.implicit_norms),
+            explicit_iterations=list(self.explicit_iterations),
+            explicit_norms=list(self.explicit_norms),
+        )
+        out.implicit_iterations += [i + iteration_offset for i in other.implicit_iterations]
+        out.implicit_norms += list(other.implicit_norms)
+        out.explicit_iterations += [i + iteration_offset for i in other.explicit_iterations]
+        out.explicit_norms += list(other.explicit_norms)
+        return out
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a linear solve.
+
+    Attributes
+    ----------
+    x:
+        Approximate solution (in the precision the caller asked results in —
+        fp64 for GMRES-IR and GMRES-FD, the working precision otherwise).
+    status:
+        Terminal :class:`SolverStatus`.
+    iterations:
+        Total inner (Arnoldi) iterations across all restarts.
+    restarts:
+        Number of restart cycles (for GMRES-IR: refinement steps).
+    relative_residual:
+        Final true relative residual ``||b - A x|| / ||b||`` in the working
+        precision of the *outer* solver.
+    relative_residual_fp64:
+        The same quantity recomputed in fp64 — the accuracy criterion the
+        paper cares about ("maintaining double precision accuracy").
+    history:
+        :class:`ConvergenceHistory` of the run.
+    timer:
+        :class:`KernelTimer` with the per-kernel modelled/wall time split.
+    solver:
+        Solver name (``"gmres"``, ``"gmres-ir"``, ``"gmres-fd"``, ``"cg"``).
+    precision:
+        Human-readable description of the precision configuration.
+    details:
+        Free-form extras (inner/outer iteration split, switch point, ...).
+    """
+
+    x: np.ndarray
+    status: SolverStatus
+    iterations: int
+    restarts: int
+    relative_residual: float
+    relative_residual_fp64: float
+    history: ConvergenceHistory
+    timer: KernelTimer
+    solver: str
+    precision: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return self.status == SolverStatus.CONVERGED
+
+    @property
+    def model_seconds(self) -> float:
+        """Modelled GPU solve time (the paper's "solve time" analogue)."""
+        return self.timer.total_model_seconds()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host wall-clock time actually spent in the metered kernels."""
+        return self.timer.total_wall_seconds()
+
+    def kernel_breakdown(self) -> Dict[str, float]:
+        """Modelled seconds per kernel label (the bars of Figures 4/7/8)."""
+        return self.timer.model_seconds_by_label()
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description of the run."""
+        lines = [
+            f"{self.solver} [{self.precision}] — {self.status.value}",
+            f"  iterations: {self.iterations} in {self.restarts} cycles",
+            f"  relative residual: {self.relative_residual:.3e} "
+            f"(fp64 check: {self.relative_residual_fp64:.3e})",
+            f"  modelled GPU time: {self.model_seconds:.4f} s; "
+            f"kernel wall time: {self.wall_seconds:.4f} s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Status tests — the convergence / termination logic of the solvers.
+
+Modelled on Belos' status-test classes: the solver consults a small set of
+composable tests after every iteration (implicit residual) and after every
+restart (explicit residual).  The split between implicit and explicit
+residual tests is what makes the Section V-F "loss of accuracy" phenomenon
+observable: a solver whose implicit residual says "converged" while the
+recomputed true residual disagrees by a large factor has been misled by
+rounding error (in the paper: by an aggressive fp32 polynomial
+preconditioner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ResidualTest",
+    "MaxIterationsTest",
+    "LossOfAccuracyTest",
+    "StagnationTest",
+]
+
+
+@dataclass
+class ResidualTest:
+    """Relative residual convergence test.
+
+    ``tolerance`` is relative to the right-hand-side norm (the paper's
+    convergence criterion ``||b - A x|| / ||b|| <= rTol`` with
+    ``rTol = 1e-10``).
+    """
+
+    tolerance: float
+
+    def passes(self, relative_norm: float) -> bool:
+        return relative_norm <= self.tolerance
+
+
+@dataclass
+class MaxIterationsTest:
+    """Caps the total number of inner iterations."""
+
+    max_iterations: int
+
+    def exceeded(self, iterations: int) -> bool:
+        return iterations >= self.max_iterations
+
+
+@dataclass
+class LossOfAccuracyTest:
+    """Detects divergence of the implicit and explicit residuals.
+
+    Triggered when the implicit residual claims convergence (it is below
+    ``tolerance``) but the explicitly recomputed residual is larger by more
+    than ``divergence_factor``.  Belos reports this condition as a "loss of
+    accuracy" of the solver; the paper hits it with high-degree fp32
+    polynomial preconditioners (Section V-F).
+    """
+
+    tolerance: float
+    divergence_factor: float = 10.0
+
+    def triggered(self, implicit_norm: float, explicit_norm: float) -> bool:
+        if implicit_norm > self.tolerance:
+            return False
+        if explicit_norm <= self.tolerance:
+            return False
+        return explicit_norm > self.divergence_factor * max(implicit_norm, 1e-300)
+
+
+@dataclass
+class StagnationTest:
+    """Optional stagnation detector over restart cycles.
+
+    Flags stagnation when the explicit residual fails to improve by at least
+    ``min_reduction`` over ``patience`` consecutive restarts.  Disabled by
+    default in the solvers (the paper lets stalled fp32 runs keep iterating
+    and reports the floor they reach), but exposed for users who prefer an
+    early exit.
+    """
+
+    patience: int = 5
+    min_reduction: float = 0.99
+
+    def __post_init__(self) -> None:
+        self._best: Optional[float] = None
+        self._since_improvement = 0
+
+    def update(self, explicit_norm: float) -> bool:
+        """Feed one restart's explicit residual; returns True when stagnated."""
+        if self._best is None or explicit_norm < self._best * self.min_reduction:
+            self._best = explicit_norm if self._best is None else min(self._best, explicit_norm)
+            self._since_improvement = 0
+            return False
+        self._since_improvement += 1
+        return self._since_improvement >= self.patience
+
+    def reset(self) -> None:
+        self._best = None
+        self._since_improvement = 0

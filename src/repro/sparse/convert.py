@@ -1,0 +1,79 @@
+"""Conversions between :class:`~repro.sparse.csr.CsrMatrix`, SciPy sparse
+matrices and precisions.
+
+SciPy is used only at the boundaries (test oracles, problem import/export);
+the solve path runs entirely on the library's own CSR kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..precision import as_precision
+from .csr import CsrMatrix
+
+__all__ = ["from_scipy", "to_scipy", "to_precision"]
+
+
+def from_scipy(matrix, *, name: str = "", precision=None) -> CsrMatrix:
+    """Build a :class:`CsrMatrix` from any SciPy sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Any ``scipy.sparse`` matrix (converted to CSR, duplicates summed).
+    name:
+        Optional problem name carried on the result.
+    precision:
+        Target value precision (default: keep the input dtype).
+    """
+    import scipy.sparse as sp
+
+    csr = sp.csr_matrix(matrix)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    data = csr.data
+    if precision is not None:
+        data = as_precision(precision).astype(data)
+    return CsrMatrix(
+        data,
+        csr.indices,
+        csr.indptr,
+        csr.shape,
+        name=name,
+    )
+
+
+def to_scipy(matrix: CsrMatrix):
+    """Convert to ``scipy.sparse.csr_matrix`` (values may be copied by SciPy)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+    )
+
+
+def to_precision(matrix: CsrMatrix, precision, *, meter: bool = False) -> CsrMatrix:
+    """Copy of ``matrix`` with values in the requested precision.
+
+    With ``meter=True`` the conversion cost is charged to the active
+    :class:`~repro.perfmodel.timer.KernelTimer` under the ``"Matrix copy"``
+    label.  The paper *excludes* the one-time fp64→fp32 matrix copy from
+    GMRES-IR solve times, so the solvers call this with ``meter=False`` and
+    the experiment harness can meter it separately when reporting setup
+    costs.
+    """
+    prec = as_precision(precision)
+    out = matrix.astype(prec)
+    if meter and out is not matrix:
+        from ..linalg.kernels import meter_cast
+
+        meter_cast(
+            n=matrix.nnz,
+            from_bytes=matrix.dtype.itemsize,
+            to_bytes=prec.bytes,
+            label="Matrix copy",
+        )
+    return out

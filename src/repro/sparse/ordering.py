@@ -1,0 +1,188 @@
+"""Matrix reordering: reverse Cuthill–McKee (RCM).
+
+Table III of the paper reorders the ``lung2`` and ``hood`` matrices with
+RCM before applying a block-Jacobi preconditioner — RCM clusters the strong
+couplings near the diagonal so that contiguous diagonal blocks capture more
+of the matrix.  RCM also reduces the bandwidth, which feeds straight into
+the SpMV cache model (smaller bandwidth → better right-hand-side reuse).
+
+The implementation is the classical algorithm: a breadth-first search from
+a pseudo-peripheral start node (George–Liu heuristic), visiting neighbours
+in order of increasing degree, and finally reversing the ordering.  It works
+on the structural pattern of ``A + A^T`` so nonsymmetric matrices are
+handled too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["reverse_cuthill_mckee", "pseudo_peripheral_node", "permute_symmetric"]
+
+
+def _symmetrized_structure(matrix: CsrMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    """Adjacency (indices, indptr) of the pattern of ``A + A^T`` minus the diagonal."""
+    n = matrix.n_rows
+    rows = matrix.row_index_of_nonzeros()
+    cols = matrix.indices.astype(np.int64)
+    off = rows != cols
+    r = np.concatenate([rows[off], cols[off]])
+    c = np.concatenate([cols[off], rows[off]])
+    order = np.lexsort((c, r))
+    r, c = r[order], c[order]
+    if r.size:
+        keep = np.empty(r.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        r, c = r[keep], c[keep]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, r + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return c, indptr
+
+
+def _bfs_levels(
+    adj_indices: np.ndarray, adj_indptr: np.ndarray, start: int, n: int
+) -> np.ndarray:
+    """Level (distance from ``start``) of every node reachable from it; -1 otherwise."""
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[start] = 0
+    frontier = np.array([start], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        neigh = np.concatenate(
+            [adj_indices[adj_indptr[u] : adj_indptr[u + 1]] for u in frontier]
+        ) if frontier.size else np.empty(0, dtype=np.int64)
+        neigh = np.unique(neigh)
+        neigh = neigh[levels[neigh] < 0]
+        levels[neigh] = level
+        frontier = neigh
+    return levels
+
+
+def pseudo_peripheral_node(matrix: CsrMatrix, start: Optional[int] = None) -> int:
+    """Find a pseudo-peripheral node (George–Liu heuristic).
+
+    Repeatedly BFS from the current candidate, then restart from a
+    minimum-degree node in the deepest level, until the eccentricity stops
+    growing.  The returned node makes a good RCM starting point.
+    """
+    n = matrix.n_rows
+    if n == 0:
+        raise ValueError("empty matrix has no peripheral node")
+    adj_indices, adj_indptr = _symmetrized_structure(matrix)
+    degrees = np.diff(adj_indptr)
+    node = int(start) if start is not None else int(np.argmin(degrees))
+    best_ecc = -1
+    for _ in range(n):
+        levels = _bfs_levels(adj_indices, adj_indptr, node, n)
+        ecc = int(levels.max())
+        if ecc <= best_ecc:
+            break
+        best_ecc = ecc
+        last_level = np.flatnonzero(levels == ecc)
+        node = int(last_level[np.argmin(degrees[last_level])])
+    return node
+
+
+def reverse_cuthill_mckee(matrix: CsrMatrix, start: Optional[int] = None) -> np.ndarray:
+    """Compute the RCM permutation of a square matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        Permutation array ``perm`` such that ``A[perm][:, perm]`` has reduced
+        bandwidth; ``perm[k]`` is the original index of the node placed at
+        position ``k``.
+    """
+    if not matrix.is_square:
+        raise ValueError("RCM requires a square matrix")
+    n = matrix.n_rows
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    adj_indices, adj_indptr = _symmetrized_structure(matrix)
+    degrees = np.diff(adj_indptr)
+
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        # Start a new component from a pseudo-peripheral node.
+        remaining = np.flatnonzero(~visited)
+        if start is not None and not visited[start]:
+            seed = int(start)
+        else:
+            seed = int(remaining[np.argmin(degrees[remaining])])
+            # Improve the seed with one George–Liu style sweep inside the component.
+            levels = _bfs_levels(adj_indices, adj_indptr, seed, n)
+            levels[visited] = -1
+            ecc = levels.max()
+            if ecc > 0:
+                deepest = np.flatnonzero(levels == ecc)
+                seed = int(deepest[np.argmin(degrees[deepest])])
+        queue = [seed]
+        visited[seed] = True
+        while queue:
+            node = queue.pop(0)
+            order[pos] = node
+            pos += 1
+            nbrs = adj_indices[adj_indptr[node] : adj_indptr[node + 1]]
+            nbrs = nbrs[~visited[nbrs]]
+            if nbrs.size:
+                nbrs = nbrs[np.argsort(degrees[nbrs], kind="stable")]
+                visited[nbrs] = True
+                queue.extend(int(v) for v in nbrs)
+    return order[::-1].copy()
+
+
+def permute_symmetric(matrix: CsrMatrix, perm: np.ndarray) -> CsrMatrix:
+    """Apply a symmetric permutation: returns ``A[perm][:, perm]``.
+
+    The inverse permutation is applied to the column indices so that entry
+    ``(perm[i], perm[j])`` of the original matrix lands at ``(i, j)``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = matrix.n_rows
+    if not matrix.is_square or perm.size != n:
+        raise ValueError("permutation length must equal the matrix dimension")
+    if np.any(np.sort(perm) != np.arange(n)):
+        raise ValueError("perm is not a permutation of 0..n-1")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n, dtype=np.int64)
+
+    row_counts = matrix.nnz_per_row()[perm]
+    new_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=new_indptr[1:])
+
+    nnz = matrix.nnz
+    new_data = np.empty(nnz, dtype=matrix.dtype)
+    new_indices = np.empty(nnz, dtype=matrix.indices.dtype)
+    # Gather rows in permuted order; per-row slices are concatenated via a
+    # single fancy-indexed gather built from the old row extents.
+    old_starts = matrix.indptr[perm]
+    gather = np.concatenate(
+        [np.arange(s, s + c, dtype=np.int64) for s, c in zip(old_starts, row_counts)]
+    ) if nnz else np.empty(0, dtype=np.int64)
+    new_data[:] = matrix.data[gather]
+    new_indices[:] = inv[matrix.indices[gather].astype(np.int64)]
+
+    # Keep column indices sorted within each row.
+    out = CsrMatrix(
+        new_data, new_indices, new_indptr, matrix.shape,
+        name=f"{matrix.name}-rcm" if matrix.name else "", check=False,
+    )
+    _sort_rows_inplace(out)
+    return out
+
+
+def _sort_rows_inplace(matrix: CsrMatrix) -> None:
+    """Sort column indices (and values) within each row of a CSR matrix."""
+    rows = matrix.row_index_of_nonzeros()
+    order = np.lexsort((matrix.indices, rows))
+    matrix.indices[:] = matrix.indices[order]
+    matrix.data[:] = matrix.data[order]

@@ -1,0 +1,117 @@
+"""Structural and numerical matrix properties.
+
+These feed three places:
+
+* the **performance model** (bandwidth and nonzeros-per-row drive the SpMV
+  cache-reuse estimate of Section V-D),
+* the **experiment reports** (Table III lists N, NNZ and symmetry for every
+  matrix), and
+* sanity checks in the matrix generators and proxies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = [
+    "bandwidth",
+    "avg_nonzeros_per_row",
+    "max_nonzeros_per_row",
+    "is_structurally_symmetric",
+    "is_numerically_symmetric",
+    "diagonal_dominance_ratio",
+    "symmetry_class",
+]
+
+
+def bandwidth(matrix: CsrMatrix) -> int:
+    """Matrix bandwidth ``max |i - j|`` over stored nonzeros."""
+    return matrix.bandwidth()
+
+
+def avg_nonzeros_per_row(matrix: CsrMatrix) -> float:
+    """Average number of stored nonzeros per row (the ``w`` of Section V-D)."""
+    if matrix.n_rows == 0:
+        return 0.0
+    return matrix.nnz / matrix.n_rows
+
+
+def max_nonzeros_per_row(matrix: CsrMatrix) -> int:
+    """Maximum number of stored nonzeros in any row."""
+    if matrix.n_rows == 0:
+        return 0
+    return int(matrix.nnz_per_row().max())
+
+
+def _sorted_triplets(matrix: CsrMatrix):
+    rows = matrix.row_index_of_nonzeros()
+    cols = matrix.indices.astype(np.int64)
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], matrix.data[order]
+
+
+def is_structurally_symmetric(matrix: CsrMatrix) -> bool:
+    """True if the nonzero *pattern* is symmetric (values may differ)."""
+    if not matrix.is_square:
+        return False
+    rows, cols, _ = _sorted_triplets(matrix)
+    order_t = np.lexsort((rows, cols))
+    return bool(
+        np.array_equal(rows, cols[order_t]) and np.array_equal(cols, rows[order_t])
+    )
+
+
+def is_numerically_symmetric(matrix: CsrMatrix, rtol: float = 1e-12) -> bool:
+    """True if ``A`` equals ``A^T`` up to a relative tolerance."""
+    if not matrix.is_square:
+        return False
+    rows, cols, vals = _sorted_triplets(matrix)
+    order_t = np.lexsort((rows, cols))
+    rows_t, cols_t, vals_t = cols[order_t], rows[order_t], vals[order_t]
+    if not (np.array_equal(rows, rows_t) and np.array_equal(cols, cols_t)):
+        return False
+    scale = np.max(np.abs(vals)) if vals.size else 1.0
+    return bool(np.allclose(vals, vals_t, rtol=rtol, atol=rtol * max(scale, 1.0)))
+
+
+def diagonal_dominance_ratio(matrix: CsrMatrix) -> float:
+    """Minimum over rows of ``|a_ii| / sum_{j != i} |a_ij|``.
+
+    Values ≥ 1 indicate (weak) diagonal dominance; small values flag rows
+    where Jacobi-type preconditioning is weak.  Rows with an empty
+    off-diagonal part contribute ``inf``.
+    """
+    if not matrix.is_square or matrix.n_rows == 0:
+        raise ValueError("diagonal dominance is defined for non-empty square matrices")
+    rows = matrix.row_index_of_nonzeros()
+    cols = matrix.indices.astype(np.int64)
+    absval = np.abs(matrix.data.astype(np.float64))
+    diag = np.zeros(matrix.n_rows)
+    on_diag = rows == cols
+    diag[rows[on_diag]] = absval[on_diag]
+    offsum = np.bincount(
+        rows[~on_diag], weights=absval[~on_diag], minlength=matrix.n_rows
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(offsum > 0, diag / offsum, np.inf)
+    return float(ratio.min())
+
+
+def symmetry_class(matrix: CsrMatrix) -> str:
+    """Classify as ``"spd"``-ish, ``"y"`` (symmetric) or ``"n"`` like Table III.
+
+    A full positive-definiteness test is too expensive for large matrices;
+    following common practice we report ``"spd"`` when the matrix is
+    numerically symmetric with strictly positive diagonal and weak diagonal
+    dominance, ``"y"`` when merely symmetric, ``"n"`` otherwise.  The
+    generators that *know* they produce SPD operators set the flag
+    explicitly instead of relying on this heuristic.
+    """
+    if not is_numerically_symmetric(matrix):
+        return "n"
+    diag = matrix.diagonal().astype(np.float64)
+    if np.all(diag > 0) and diagonal_dominance_ratio(matrix) >= 0.999:
+        return "spd"
+    return "y"

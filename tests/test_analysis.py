@@ -1,0 +1,149 @@
+"""Tests for the analysis layer (breakdowns, speedups, tables, model validation)."""
+
+import numpy as np
+import pytest
+
+from repro import ones_rhs
+from repro.analysis import (
+    BREAKDOWN_ORDER,
+    breakdown_from_result,
+    breakdown_from_timer,
+    compare_spmv_models,
+    format_kv,
+    format_series,
+    format_table,
+    speedup_table,
+)
+from repro.matrices import bentpipe2d
+from repro.perfmodel.costs import CostEstimate
+from repro.perfmodel.device import get_device
+from repro.perfmodel.timer import KernelTimer
+from repro.solvers import gmres, gmres_ir
+
+
+@pytest.fixture(scope="module")
+def solver_pair():
+    matrix = bentpipe2d(24)
+    b = np.ones(matrix.n_rows)
+    double = gmres(matrix, b, restart=20, tol=1e-8, max_restarts=200)
+    mixed = gmres_ir(matrix, b, restart=20, tol=1e-8, max_restarts=200)
+    return matrix, double, mixed
+
+
+class TestBreakdown:
+    def test_from_timer(self):
+        t = KernelTimer("t")
+        t.record("spmv", "double", CostEstimate(2.0, 1, 1))
+        t.record("gemv_t", "double", CostEstimate(1.0, 1, 1))
+        t.record("norm", "double", CostEstimate(0.5, 1, 1))
+        b = breakdown_from_timer(t)
+        assert b.total_seconds == pytest.approx(3.5)
+        assert b.seconds("SpMV") == pytest.approx(2.0)
+        assert b.orthogonalization_seconds == pytest.approx(1.5)
+        assert b.fraction("SpMV") == pytest.approx(2.0 / 3.5)
+
+    def test_from_result_and_rows(self, solver_pair):
+        _, double, _ = solver_pair
+        b = breakdown_from_result(double)
+        rows = b.as_rows()
+        labels = [r[0] for r in rows]
+        assert labels[: len([l for l in BREAKDOWN_ORDER if l in labels])] == [
+            l for l in BREAKDOWN_ORDER if l in labels
+        ]
+        assert sum(r[3] for r in rows) == pytest.approx(1.0)
+
+    def test_orthogonalization_dominates_unpreconditioned_gmres(self, solver_pair):
+        """Figure 4: orthogonalization is the bulk of unpreconditioned solve time."""
+        _, double, _ = solver_pair
+        b = breakdown_from_result(double)
+        assert b.orthogonalization_fraction() > 0.5
+
+    def test_empty_breakdown(self):
+        b = breakdown_from_timer(KernelTimer("empty"))
+        assert b.total_seconds == 0
+        assert b.fraction("SpMV") == 0
+
+
+class TestSpeedupTable:
+    def test_table_rows_and_total(self, solver_pair):
+        _, double, mixed = solver_pair
+        table = speedup_table(double, mixed, baseline_name="double", comparison_name="ir")
+        labels = [r.label for r in table.rows]
+        assert "Total Time" in labels and "SpMV" in labels and "Total Orthogonalization" in labels
+        assert table.total_speedup == pytest.approx(
+            double.model_seconds / mixed.model_seconds, rel=1e-9
+        )
+
+    def test_spmv_speedup_largest(self, solver_pair):
+        """The paper's key kernel-level finding: the SpMV gains the most."""
+        _, double, mixed = solver_pair
+        speedups = speedup_table(double, mixed).as_dict()
+        assert speedups["SpMV"] >= speedups["GEMV (Trans)"]
+        assert speedups["SpMV"] >= speedups["Norm"]
+
+    def test_format_contains_all_rows(self, solver_pair):
+        _, double, mixed = solver_pair
+        text = speedup_table(double, mixed).format(scale=1e3, time_unit="ms")
+        assert "SpMV" in text and "Total Time" in text and "ms" in text
+
+    def test_missing_row_lookup(self, solver_pair):
+        _, double, mixed = solver_pair
+        table = speedup_table(double, mixed)
+        with pytest.raises(KeyError):
+            table.row("Nonexistent")
+
+    def test_zero_comparison_gives_inf(self):
+        from repro.analysis.speedup import SpeedupRow
+
+        assert SpeedupRow("x", 1.0, 0.0).speedup == np.inf
+        assert SpeedupRow("x", 0.0, 0.0).speedup == 1.0
+
+
+class TestModelValidation:
+    def test_compare_models_paper_scale(self):
+        matrix = bentpipe2d(48)
+        device = get_device("v100").scaled(matrix.n_rows / 1500 ** 2)
+        comparison = compare_spmv_models(matrix, device)
+        assert comparison.paper_formula_speedup == pytest.approx(2.27, abs=0.05)
+        assert 1.8 < comparison.cost_model_speedup < 2.8
+        assert comparison.reuse_fp32 > comparison.reuse_fp64
+        row = comparison.as_row()
+        assert row["matrix"] == matrix.name
+
+    def test_cache_simulation_columns_optional(self):
+        matrix = bentpipe2d(16)
+        device = get_device("v100").scaled(0.001)
+        without = compare_spmv_models(matrix, device, run_cache_simulation=False)
+        assert without.simulated_hit_rate_fp32 is None
+        with_sim = compare_spmv_models(
+            matrix, device, run_cache_simulation=True, simulation_accesses=5_000
+        )
+        assert 0.0 <= with_sim.simulated_hit_rate_fp32 <= 1.0
+        assert with_sim.simulated_hit_rate_fp32 >= with_sim.simulated_hit_rate_fp64 - 1e-9
+
+
+class TestTableFormatting:
+    def test_format_table_alignment_and_missing_cells(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10}]
+        text = format_table(rows, ["a", "b"], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([], title=None) or format_table([]) == "(empty table)"
+
+    def test_format_table_default_columns(self):
+        text = format_table([{"x": 1.23456, "y": "z"}], float_format=".2f")
+        assert "1.23" in text
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.5, "beta": "two"}, title="params")
+        assert text.startswith("params")
+        assert "alpha" in text and "two" in text
+
+    def test_format_series(self):
+        text = format_series([1, 2, 3], [0.1, 0.01, 0.001], x_label="it", y_label="res")
+        assert "it" in text and "res" in text
+        assert "0.001" in text

@@ -1,0 +1,46 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import ReproConfig, default_config, get_config, set_config
+
+
+class TestDefaults:
+    def test_paper_settings(self):
+        cfg = default_config()
+        assert cfg.rtol == 1e-10
+        assert cfg.restart == 50
+        assert cfg.device_name == "v100"
+        assert cfg.meter_kernels is True
+
+    def test_default_is_frozen(self):
+        cfg = default_config()
+        with pytest.raises(Exception):
+            cfg.rtol = 1.0  # type: ignore[misc]
+
+
+class TestSetConfig:
+    def test_override_single_field(self):
+        set_config(restart=25)
+        assert get_config().restart == 25
+        assert get_config().rtol == 1e-10
+
+    def test_replace_whole_config(self):
+        new = ReproConfig(rtol=1e-6, restart=10)
+        set_config(new)
+        assert get_config() is new
+
+    def test_override_on_top_of_explicit_config(self):
+        set_config(ReproConfig(restart=30), rtol=1e-8)
+        assert get_config().restart == 30
+        assert get_config().rtol == 1e-8
+
+    def test_returns_active_config(self):
+        out = set_config(seed=99)
+        assert out is get_config()
+        assert out.seed == 99
+
+    def test_reset_between_tests_fixture_works(self):
+        # The autouse fixture restores defaults; this test relies on the
+        # previous tests having mutated the config.
+        assert get_config().restart == 50

@@ -1,0 +1,145 @@
+"""End-to-end integration tests asserting the paper's headline claims.
+
+Each test corresponds to a sentence in the paper's abstract/conclusions and
+exercises the full stack (matrix generator → preconditioner → solver →
+performance model → analysis) on scaled problems.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ones_rhs
+from repro.analysis import speedup_table
+from repro.linalg import use_device
+from repro.matrices import bentpipe2d, stretched2d, uniflow2d
+from repro.perfmodel import get_device
+from repro.preconditioners import GmresPolynomialPreconditioner
+from repro.solvers import SolverStatus, gmres, gmres_fd, gmres_ir
+
+
+@pytest.fixture(scope="module")
+def bentpipe_runs():
+    """Shared GMRES double / IR runs on a moderately hard BentPipe problem."""
+    matrix = bentpipe2d(48)
+    b = np.ones(matrix.n_rows)
+    device = get_device("v100").scaled(matrix.n_rows / 1500 ** 2)
+    with use_device(device):
+        double = gmres(matrix, b, precision="double", restart=25, tol=1e-10, max_restarts=300)
+        single = gmres(matrix, b, precision="single", restart=25, tol=1e-10, max_restarts=60)
+        mixed = gmres_ir(matrix, b, restart=25, tol=1e-10, max_restarts=300)
+    return matrix, double, single, mixed
+
+
+class TestHeadlineClaims:
+    def test_ir_maintains_double_precision_accuracy(self, bentpipe_runs):
+        """'GMRES-IR ... while maintaining double precision accuracy.'"""
+        _, double, _, mixed = bentpipe_runs
+        assert double.converged and mixed.converged
+        assert mixed.relative_residual_fp64 <= 1e-10
+
+    def test_fp32_alone_cannot_reach_double_accuracy(self, bentpipe_runs):
+        """Figure 3's fp32 curve: stagnation well above the fp64 tolerance."""
+        _, _, single, _ = bentpipe_runs
+        assert not single.converged
+        assert single.relative_residual_fp64 > 1e-8
+
+    def test_ir_convergence_follows_double(self, bentpipe_runs):
+        """'The convergence of the multiprecision version ... follows the
+        double precision version closely.'"""
+        _, double, _, mixed = bentpipe_runs
+        assert mixed.iterations <= double.iterations + 25
+
+    def test_ir_reduces_solve_time_for_unpreconditioned_problem(self, bentpipe_runs):
+        """'GMRES-IR could reduce solve time by up to ... 1.4x for
+        non-preconditioned problems' (we accept anything in 1.1-1.8 at scale)."""
+        _, double, _, mixed = bentpipe_runs
+        speedup = double.model_seconds / mixed.model_seconds
+        assert 1.1 < speedup < 1.8
+
+    def test_spmv_kernel_speedup_beyond_two(self, bentpipe_runs):
+        """Section V-D: the SpMV speedup exceeds the naive 2x expectation."""
+        _, double, _, mixed = bentpipe_runs
+        speedups = speedup_table(double, mixed).as_dict()
+        assert speedups["SpMV"] > 2.0
+        assert speedups["SpMV"] < 2.7
+
+    def test_orthogonalization_speedup_modest(self, bentpipe_runs):
+        _, double, _, mixed = bentpipe_runs
+        speedups = speedup_table(double, mixed).as_dict()
+        assert 1.0 < speedups["Total Orthogonalization"] < 1.8
+
+    def test_memory_footprint_of_ir_includes_both_matrices(self, bentpipe_runs):
+        """GMRES-IR keeps fp64 and fp32 copies of A in memory."""
+        _, _, _, mixed = bentpipe_runs
+        assert mixed.details["inner_matrix_bytes"] > 0
+        assert mixed.details["outer_matrix_bytes"] > mixed.details["inner_matrix_bytes"]
+
+
+class TestPreconditionedClaims:
+    def test_preconditioned_ir_speedup(self):
+        """'... up to 1.5x for preconditioned problems' — polynomial
+        preconditioning amplifies the fp32 SpMV advantage."""
+        matrix = stretched2d(96, stretch=8)
+        b = ones_rhs(matrix)
+        device = get_device("v100").scaled(matrix.n_rows / 1500 ** 2)
+        with use_device(device):
+            poly64 = GmresPolynomialPreconditioner(matrix, degree=10, precision="double")
+            poly32 = GmresPolynomialPreconditioner(matrix, degree=10, precision="single")
+            ref = gmres(matrix, b, precision="double", restart=25, tol=1e-10,
+                        preconditioner=poly64)
+            mixed_prec = gmres(matrix, b, precision="double", restart=25, tol=1e-10,
+                               preconditioner=poly32)
+            ir = gmres_ir(matrix, b, restart=25, tol=1e-10, preconditioner=poly32)
+        assert ref.converged and mixed_prec.converged and ir.converged
+        assert ir.relative_residual_fp64 <= 1e-10
+        speedup_prec = ref.model_seconds / mixed_prec.model_seconds
+        speedup_ir = ref.model_seconds / ir.model_seconds
+        assert speedup_prec > 1.2
+        assert speedup_ir > 1.3
+
+    def test_unpreconditioned_stretched_problem_stalls(self):
+        """The Stretched2D problem motivates preconditioning: GMRES(m) makes
+        little progress on it without a preconditioner."""
+        matrix = stretched2d(96, stretch=8)
+        b = ones_rhs(matrix)
+        result = gmres(matrix, b, restart=25, tol=1e-10, max_restarts=40)
+        assert not result.converged
+
+
+class TestGmresFdComparison:
+    def test_ir_needs_no_switch_tuning(self):
+        """Figures 1-2: GMRES-IR is at least competitive with the *best*
+        hand-tuned GMRES-FD switch point."""
+        matrix = uniflow2d(48)
+        b = ones_rhs(matrix)
+        device = get_device("v100").scaled(matrix.n_rows / 2500 ** 2)
+        with use_device(device):
+            double = gmres(matrix, b, precision="double", restart=25, tol=1e-10,
+                           max_restarts=300)
+            ir = gmres_ir(matrix, b, restart=25, tol=1e-10, max_restarts=300)
+            fd_times = []
+            for switch in (50, 100, 150):
+                fd = gmres_fd(matrix, b, switch_iteration=switch, restart=25, tol=1e-10,
+                              max_restarts=300)
+                assert fd.converged
+                fd_times.append(fd.model_seconds)
+        assert ir.converged
+        assert ir.model_seconds <= 1.1 * min(fd_times)
+        assert ir.model_seconds < double.model_seconds
+
+
+class TestLossOfAccuracyClaim:
+    def test_aggressive_fp32_preconditioner_false_positive_and_ir_fix(self):
+        """Section V-F: a high-degree fp32 polynomial inside fp64 GMRES gives a
+        false convergence signal; GMRES-IR with the same preconditioner does not."""
+        matrix = stretched2d(96, stretch=8)
+        b = ones_rhs(matrix)
+        poly32 = GmresPolynomialPreconditioner(matrix, degree=40, precision="single")
+        risky = gmres(matrix, b, precision="double", restart=25, tol=1e-10,
+                      preconditioner=poly32, max_restarts=100)
+        assert risky.status == SolverStatus.LOSS_OF_ACCURACY
+        assert risky.relative_residual_fp64 > 1e-10
+        fixed = gmres_ir(matrix, b, restart=25, tol=1e-10, preconditioner=poly32,
+                         max_restarts=100)
+        assert fixed.converged
+        assert fixed.relative_residual_fp64 <= 1e-10

@@ -1,0 +1,209 @@
+"""Tests for the instrumented linear-algebra kernels."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import kernels
+from repro.linalg.context import ExecutionContext, set_context
+from repro.perfmodel.timer import KernelTimer, use_timer
+from tests.conftest import dense
+
+
+class TestSpmvKernel:
+    def test_correctness(self, laplace_small, rng):
+        x = rng.standard_normal(laplace_small.n_cols)
+        np.testing.assert_allclose(
+            kernels.spmv(laplace_small, x), dense(laplace_small) @ x
+        )
+
+    def test_records_under_spmv_label(self, laplace_small):
+        with use_timer(name="t") as timer:
+            kernels.spmv(laplace_small, np.ones(laplace_small.n_cols))
+        assert timer.calls_by_label() == {"SpMV": 1}
+        assert timer.model_seconds_for("SpMV") > 0
+
+    def test_custom_label_residual_goes_to_other(self, laplace_small):
+        with use_timer(name="t") as timer:
+            kernels.spmv(laplace_small, np.ones(laplace_small.n_cols), label="Residual")
+        assert timer.calls_by_label() == {"Other": 1}
+
+    def test_precision_mismatch_raises(self, laplace_small):
+        x32 = np.ones(laplace_small.n_cols, dtype=np.float32)
+        with pytest.raises(kernels.PrecisionMismatchError):
+            kernels.spmv(laplace_small, x32)
+
+    def test_fp32_matrix_and_vector(self, laplace_small):
+        A32 = laplace_small.astype("single")
+        x32 = np.ones(laplace_small.n_cols, dtype=np.float32)
+        y = kernels.spmv(A32, x32)
+        assert y.dtype == np.float32
+
+    def test_records_precision(self, laplace_small):
+        A32 = laplace_small.astype("single")
+        with use_timer(name="t") as timer:
+            kernels.spmv(laplace_small, np.ones(laplace_small.n_cols))
+            kernels.spmv(A32, np.ones(laplace_small.n_cols, dtype=np.float32))
+        assert timer.model_seconds_for("SpMV", "double") > 0
+        assert timer.model_seconds_for("SpMV", "single") > 0
+
+
+class TestGemvKernels:
+    def test_transpose_correctness(self, rng):
+        V = rng.standard_normal((50, 6))
+        w = rng.standard_normal(50)
+        np.testing.assert_allclose(kernels.gemv_transpose(V, w), V.T @ w)
+
+    def test_notrans_updates_in_place(self, rng):
+        V = rng.standard_normal((50, 6))
+        h = rng.standard_normal(6)
+        w = rng.standard_normal(50)
+        expected = w - V @ h
+        out = kernels.gemv_notrans(V, h, w)
+        assert out is w
+        np.testing.assert_allclose(w, expected)
+
+    def test_labels(self, rng):
+        V = rng.standard_normal((20, 3))
+        w = rng.standard_normal(20)
+        with use_timer(name="t") as timer:
+            h = kernels.gemv_transpose(V, w)
+            kernels.gemv_notrans(V, h, w)
+        assert timer.calls_by_label() == {"GEMV (Trans)": 1, "GEMV (No Trans)": 1}
+
+    def test_mixed_precision_rejected(self, rng):
+        V = rng.standard_normal((20, 3)).astype(np.float32)
+        w = rng.standard_normal(20)
+        with pytest.raises(kernels.PrecisionMismatchError):
+            kernels.gemv_transpose(V, w)
+
+
+class TestVectorKernels:
+    def test_dot_and_norm(self, rng):
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        assert kernels.dot(x, y) == pytest.approx(float(x @ y))
+        assert kernels.norm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_norm_fp32_accumulates_in_fp32(self):
+        x = np.full(10_000, 1e-4, dtype=np.float32)
+        value = kernels.norm2(x)
+        # Just checks it computes without promoting to float64 internally
+        # (the value itself is fine at this magnitude).
+        assert value == pytest.approx(1e-2, rel=1e-3)
+
+    def test_dot_and_norm_grouped_under_norm_label(self, rng):
+        x = rng.standard_normal(10)
+        with use_timer(name="t") as timer:
+            kernels.dot(x, x)
+            kernels.norm2(x)
+        assert timer.calls_by_label() == {"Norm": 2}
+
+    def test_axpy_in_place(self, rng):
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(30)
+        expected = y + 2.5 * x
+        kernels.axpy(2.5, x, y)
+        np.testing.assert_allclose(y, expected)
+
+    def test_axpy_preserves_fp32(self):
+        x = np.ones(10, dtype=np.float32)
+        y = np.zeros(10, dtype=np.float32)
+        kernels.axpy(0.5, x, y)
+        assert y.dtype == np.float32
+
+    def test_scal_in_place(self, rng):
+        x = rng.standard_normal(30)
+        expected = 3.0 * x
+        kernels.scal(3.0, x)
+        np.testing.assert_allclose(x, expected)
+
+    def test_copy_with_and_without_out(self, rng):
+        x = rng.standard_normal(30)
+        c = kernels.copy(x)
+        assert c is not x
+        np.testing.assert_allclose(c, x)
+        out = np.empty_like(x)
+        assert kernels.copy(x, out) is out
+
+    def test_axpy_scal_copy_land_in_other(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        with use_timer(name="t") as timer:
+            kernels.axpy(1.0, x, y)
+            kernels.scal(2.0, x)
+            kernels.copy(x)
+        assert set(timer.calls_by_label()) == {"Other"}
+        assert timer.calls_by_label()["Other"] == 3
+
+
+class TestCastKernel:
+    def test_cast_down_and_up(self, rng):
+        x = rng.standard_normal(40)
+        low = kernels.cast(x, "single")
+        assert low.dtype == np.float32
+        back = kernels.cast(low, "double")
+        assert back.dtype == np.float64
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+    def test_same_precision_no_copy_no_meter(self, rng):
+        x = rng.standard_normal(40)
+        with use_timer(name="t") as timer:
+            out = kernels.cast(x, "double")
+        assert out is x
+        assert timer.total_model_seconds() == 0
+
+    def test_cast_metered_under_other(self, rng):
+        x = rng.standard_normal(40)
+        with use_timer(name="t") as timer:
+            kernels.cast(x, "single")
+        assert timer.calls_by_label() == {"Other": 1}
+
+
+class TestPreconditionerKernels:
+    def test_diag_scale(self, rng):
+        d = rng.standard_normal(20)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(kernels.diag_scale(d, x), d * x)
+
+    def test_block_diag_solve(self, rng):
+        blocks = rng.standard_normal((4, 3, 3))
+        x = rng.standard_normal(12)
+        expected = np.concatenate([blocks[i] @ x[3 * i: 3 * i + 3] for i in range(4)])
+        np.testing.assert_allclose(kernels.block_diag_solve(blocks, x), expected)
+
+    def test_block_diag_solve_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            kernels.block_diag_solve(rng.standard_normal((2, 3, 3)), rng.standard_normal(5))
+
+    def test_precond_label(self, rng):
+        d = rng.standard_normal(10)
+        with use_timer(name="t") as timer:
+            kernels.diag_scale(d, d.copy())
+        assert timer.calls_by_label() == {"Precond": 1}
+
+
+class TestMeteringSwitches:
+    def test_no_timer_no_crash(self, laplace_small):
+        kernels.spmv(laplace_small, np.ones(laplace_small.n_cols))
+
+    def test_meter_disabled_records_nothing(self, laplace_small):
+        set_context(ExecutionContext(meter=False))
+        with use_timer(name="t") as timer:
+            kernels.spmv(laplace_small, np.ones(laplace_small.n_cols))
+            kernels.norm2(np.ones(5))
+        assert timer.total_model_seconds() == 0.0
+
+    def test_nested_timers_both_record(self, laplace_small):
+        outer = KernelTimer("outer")
+        with use_timer(outer):
+            with use_timer(name="inner") as inner:
+                kernels.spmv(laplace_small, np.ones(laplace_small.n_cols))
+        assert outer.total_calls() == inner.total_calls() == 1
+
+    def test_meter_helpers(self):
+        with use_timer(name="t") as timer:
+            kernels.meter_cast(1000, 8, 4)
+            kernels.meter_host_dense(500)
+            kernels.meter_host_transfer(4096)
+        assert timer.total_model_seconds() > 0
+        assert timer.total_calls() == 3

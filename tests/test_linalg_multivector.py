@@ -1,0 +1,127 @@
+"""Tests for the MultiVector (Krylov basis block)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import MultiVector
+from repro.perfmodel.timer import use_timer
+
+
+class TestConstruction:
+    def test_shape_and_precision(self):
+        V = MultiVector(100, 11, "single")
+        assert V.length == 100
+        assert V.capacity == 11
+        assert V.count == 0
+        assert V.dtype == np.float32
+
+    def test_column_major_storage(self):
+        V = MultiVector(50, 5)
+        assert V.block(5).flags["F_CONTIGUOUS"]
+
+    def test_storage_bytes(self):
+        V = MultiVector(100, 4, "double")
+        assert V.storage_bytes() == 100 * 4 * 8
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MultiVector(-1, 5)
+        with pytest.raises(ValueError):
+            MultiVector(10, 0)
+
+
+class TestAppendAndAccess:
+    def test_append_and_column(self, rng):
+        V = MultiVector(20, 3)
+        v0 = rng.standard_normal(20)
+        idx = V.append(v0)
+        assert idx == 0
+        assert V.count == 1
+        np.testing.assert_allclose(V.column(0), v0)
+
+    def test_append_casts_to_block_precision(self, rng):
+        V = MultiVector(20, 3, "single")
+        V.append(rng.standard_normal(20))  # float64 input
+        assert V.column(0).dtype == np.float32
+
+    def test_append_full_raises(self, rng):
+        V = MultiVector(10, 1)
+        V.append(rng.standard_normal(10))
+        with pytest.raises(RuntimeError):
+            V.append(rng.standard_normal(10))
+
+    def test_append_wrong_length(self):
+        V = MultiVector(10, 2)
+        with pytest.raises(ValueError):
+            V.append(np.ones(7))
+
+    def test_column_out_of_range(self):
+        V = MultiVector(10, 2)
+        with pytest.raises(IndexError):
+            V.column(2)
+
+    def test_block_view_reflects_count(self, rng):
+        V = MultiVector(10, 4)
+        V.append(rng.standard_normal(10))
+        V.append(rng.standard_normal(10))
+        assert V.block().shape == (10, 2)
+        assert V.block(1).shape == (10, 1)
+
+    def test_block_out_of_range(self):
+        with pytest.raises(IndexError):
+            MultiVector(10, 2).block(3)
+
+    def test_reset_and_set_count(self, rng):
+        V = MultiVector(10, 4)
+        V.append(rng.standard_normal(10))
+        V.reset()
+        assert V.count == 0
+        V.set_count(0)
+        with pytest.raises(ValueError):
+            V.set_count(5)
+
+    def test_column_views_are_writable(self, rng):
+        V = MultiVector(10, 2)
+        V.append(np.zeros(10))
+        V.column(0)[:] = 7.0
+        np.testing.assert_allclose(V.block(1)[:, 0], 7.0)
+
+
+class TestBlockOperations:
+    def test_project(self, rng):
+        V = MultiVector(30, 5)
+        vecs = [rng.standard_normal(30) for _ in range(3)]
+        for v in vecs:
+            V.append(v)
+        w = rng.standard_normal(30)
+        expected = np.column_stack(vecs).T @ w
+        np.testing.assert_allclose(V.project(w), expected)
+
+    def test_subtract_projection(self, rng):
+        V = MultiVector(30, 5)
+        for _ in range(2):
+            V.append(rng.standard_normal(30))
+        w = rng.standard_normal(30)
+        h = rng.standard_normal(2)
+        expected = w - V.block() @ h
+        V.subtract_projection(w, h)
+        np.testing.assert_allclose(w, expected)
+
+    def test_combine(self, rng):
+        V = MultiVector(30, 5)
+        for _ in range(3):
+            V.append(rng.standard_normal(30))
+        y = rng.standard_normal(3)
+        np.testing.assert_allclose(V.combine(y), V.block() @ y, rtol=1e-12)
+
+    def test_block_ops_are_metered(self, rng):
+        V = MultiVector(30, 5)
+        V.append(rng.standard_normal(30))
+        w = rng.standard_normal(30)
+        with use_timer(name="t") as timer:
+            h = V.project(w)
+            V.subtract_projection(w, h)
+            V.combine(np.ones(1))
+        calls = timer.calls_by_label()
+        assert calls["GEMV (Trans)"] == 1
+        assert calls["GEMV (No Trans)"] == 2  # subtract + combine

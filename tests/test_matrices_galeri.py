@@ -1,0 +1,153 @@
+"""Tests for the Galeri-style PDE problem generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    bentpipe2d,
+    convection_diffusion_2d,
+    laplace2d,
+    laplace3d,
+    stretched2d,
+    uniflow2d,
+)
+from repro.sparse import (
+    avg_nonzeros_per_row,
+    diagonal_dominance_ratio,
+    is_numerically_symmetric,
+    is_structurally_symmetric,
+)
+from tests.conftest import dense
+
+
+class TestLaplacians:
+    def test_laplace2d_dimensions_and_stencil(self):
+        A = laplace2d(8)
+        assert A.shape == (64, 64)
+        assert A.name == "Laplace2D8"
+        diag = A.diagonal()
+        np.testing.assert_allclose(diag, 4.0)
+        assert avg_nonzeros_per_row(A) < 5.0 <= A.nnz_per_row().max()
+
+    def test_laplace2d_spd(self):
+        A = laplace2d(8)
+        assert is_numerically_symmetric(A)
+        eigvals = np.linalg.eigvalsh(dense(A))
+        assert eigvals.min() > 0
+
+    def test_laplace2d_rectangular(self):
+        A = laplace2d(4, 6)
+        assert A.shape == (24, 24)
+
+    def test_laplace3d_dimensions(self):
+        A = laplace3d(5)
+        assert A.shape == (125, 125)
+        np.testing.assert_allclose(A.diagonal(), 6.0)
+        assert is_numerically_symmetric(A)
+
+    def test_laplace3d_positive_definite(self):
+        A = laplace3d(4)
+        assert np.linalg.eigvalsh(dense(A)).min() > 0
+
+    def test_laplace3d_bandwidth(self):
+        A = laplace3d(6)
+        assert A.bandwidth() == 36  # nx*ny for the z-coupling
+
+    def test_known_eigenvalue_of_laplace2d(self):
+        """Smallest eigenvalue of the (4,-1) 2D Laplacian is 8 sin^2(pi h / 2)."""
+        n = 10
+        A = laplace2d(n)
+        h = 1.0 / (n + 1)
+        expected = 8 * np.sin(np.pi * h / 2) ** 2
+        eig_min = np.linalg.eigvalsh(dense(A)).min()
+        assert eig_min == pytest.approx(expected, rel=1e-10)
+
+
+class TestConvectionDiffusion:
+    def test_zero_velocity_reduces_to_laplacian(self):
+        A = convection_diffusion_2d(8, velocity=(0.0, 0.0))
+        np.testing.assert_allclose(dense(A), dense(laplace2d(8)))
+
+    def test_nonsymmetric_with_velocity(self):
+        A = convection_diffusion_2d(8, velocity=(10.0, 0.0))
+        assert is_structurally_symmetric(A)
+        assert not is_numerically_symmetric(A)
+
+    def test_central_coefficients(self):
+        nx = 8
+        h = 1.0 / (nx + 1)
+        vx = 3.0
+        A = convection_diffusion_2d(nx, epsilon=1.0, velocity=(vx, 0.0), scheme="central")
+        D = dense(A)
+        # East coupling of an interior node: -eps + vx*h/2.
+        interior = nx * (nx // 2) + nx // 2
+        assert D[interior, interior + 1] == pytest.approx(-1.0 + vx * h / 2)
+        assert D[interior, interior - 1] == pytest.approx(-1.0 - vx * h / 2)
+
+    def test_upwind_is_diagonally_dominant(self):
+        A = convection_diffusion_2d(10, epsilon=0.01, velocity=(50.0, 30.0), scheme="upwind")
+        assert diagonal_dominance_ratio(A) >= 0.999
+
+    def test_central_high_peclet_not_dominant(self):
+        A = convection_diffusion_2d(10, epsilon=0.01, velocity=(50.0, 30.0), scheme="central")
+        assert diagonal_dominance_ratio(A) < 1.0
+
+    def test_callable_velocity_field(self):
+        def field(x, y):
+            return 10 * y, -10 * x
+
+        A = convection_diffusion_2d(8, velocity=field)
+        assert not is_numerically_symmetric(A)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            convection_diffusion_2d(8, scheme="quick")
+
+
+class TestNamedProblems:
+    def test_uniflow_properties(self):
+        A = uniflow2d(16)
+        assert A.name == "UniFlow2D16"
+        assert A.shape == (256, 256)
+        assert not is_numerically_symmetric(A)
+
+    def test_bentpipe_properties(self):
+        A = bentpipe2d(16)
+        assert A.name == "BentPipe2D16"
+        assert not is_numerically_symmetric(A)
+        # Convection-dominated: central differencing loses diagonal dominance.
+        assert diagonal_dominance_ratio(A) < 1.0
+
+    def test_bentpipe_harder_than_uniflow(self):
+        """The paper orders the 2D problems by difficulty: BentPipe >> UniFlow."""
+        from repro.solvers import gmres
+        from repro import ones_rhs
+
+        bp = bentpipe2d(24)
+        uf = uniflow2d(24)
+        r_bp = gmres(bp, ones_rhs(bp), restart=20, tol=1e-8, max_restarts=200)
+        r_uf = gmres(uf, ones_rhs(uf), restart=20, tol=1e-8, max_restarts=200)
+        assert r_bp.iterations > r_uf.iterations
+
+    def test_stretched_properties(self):
+        A = stretched2d(16, stretch=16)
+        assert is_numerically_symmetric(A)
+        eigvals = np.linalg.eigvalsh(dense(A))
+        assert eigvals.min() > 0
+        # Higher stretch worsens conditioning relative to the isotropic case.
+        iso = np.linalg.eigvalsh(dense(laplace2d(16)))
+        assert (eigvals.max() / eigvals.min()) > (iso.max() / iso.min())
+
+    def test_stretched_invalid_factor(self):
+        with pytest.raises(ValueError):
+            stretched2d(8, stretch=0.0)
+
+    def test_custom_names(self):
+        assert bentpipe2d(8, name="custom").name == "custom"
+        assert stretched2d(8, name="s").name == "s"
+        assert laplace3d(4, name="l3").name == "l3"
+
+    @pytest.mark.parametrize("builder", [laplace2d, uniflow2d, bentpipe2d, stretched2d])
+    def test_row_count_scales_with_grid(self, builder):
+        assert builder(12).n_rows == 144
+        assert builder(6).n_rows == 36

@@ -1,0 +1,98 @@
+"""Tests for the SuiteSparse proxies and the problem registry."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import PROXY_SPECS, ProblemRecord, build_proxy, get_problem, list_problems, list_proxies
+from repro.matrices.suitesparse_proxies import ProxySpec
+from repro.sparse import is_numerically_symmetric
+
+
+class TestProxySpecs:
+    def test_all_table_iii_matrices_present(self):
+        expected = {
+            "atmosmodj", "Dubcova3", "stomach", "SiO2", "parabolic_fem",
+            "lung2", "hood", "cfd2", "Transport", "filter3D",
+        }
+        assert set(PROXY_SPECS) == expected
+        assert list_proxies() == list(PROXY_SPECS)
+
+    def test_paper_statistics_recorded(self):
+        spec = PROXY_SPECS["hood"]
+        assert spec.uf_id == 1266
+        assert spec.original_n == 220_542
+        assert spec.paper_speedup == pytest.approx(1.55)
+        assert spec.preconditioner == ("block_jacobi", 42)
+
+    def test_every_spec_has_positive_paper_values(self):
+        for spec in PROXY_SPECS.values():
+            assert spec.original_n > 0 and spec.original_nnz > 0
+            assert spec.paper_double_iters > 0 and spec.paper_ir_iters > 0
+            assert spec.paper_speedup > 0
+            assert spec.symmetry in ("n", "y", "spd")
+
+    def test_default_dims_are_scaled_down(self):
+        for spec in PROXY_SPECS.values():
+            assert spec.default_dim < spec.original_n
+
+    @pytest.mark.parametrize("name", list(PROXY_SPECS))
+    def test_proxy_builds_and_matches_symmetry_class(self, name):
+        spec = PROXY_SPECS[name]
+        A = spec.build(min(spec.default_dim, 2500))
+        assert A.is_square
+        assert A.nnz > 0
+        expected_symmetric = spec.symmetry in ("y", "spd")
+        assert is_numerically_symmetric(A) == expected_symmetric
+
+    def test_build_proxy_custom_dimension(self):
+        small = build_proxy("SiO2", 900)
+        large = build_proxy("SiO2", 4900)
+        assert small.n_rows < large.n_rows
+
+    def test_build_proxy_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_proxy("does_not_exist")
+
+    def test_preconditioner_at_scale(self):
+        assert PROXY_SPECS["cfd2"].preconditioner_at_scale() == ("poly", 8)
+        assert PROXY_SPECS["hood"].preconditioner_at_scale() == ("block_jacobi", 42)
+        assert PROXY_SPECS["atmosmodj"].preconditioner_at_scale() is None
+
+    def test_hood_proxy_has_line_blocks(self):
+        A = build_proxy("hood")
+        assert A.n_rows % 42 == 0
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            PROXY_SPECS["hood"].default_dim = 1  # type: ignore[misc]
+
+
+class TestRegistry:
+    def test_galeri_and_proxies_registered(self):
+        names = set(list_problems())
+        assert {"BentPipe2D", "UniFlow2D", "Laplace3D", "Stretched2D", "Laplace2D"} <= names
+        assert "hood" in names
+
+    def test_kind_filter(self):
+        galeri = list_problems(kind="galeri")
+        proxies = list_problems(kind="suitesparse-proxy")
+        assert "BentPipe2D" in galeri and "BentPipe2D" not in proxies
+        assert "hood" in proxies
+
+    def test_lookup_case_insensitive(self):
+        rec = get_problem("bentpipe2d")
+        assert isinstance(rec, ProblemRecord)
+        assert rec.name == "BentPipe2D"
+
+    def test_builder_produces_matrix(self):
+        rec = get_problem("Laplace2D")
+        A = rec.builder(8)
+        assert A.n_rows == 64
+
+    def test_unknown_problem(self):
+        with pytest.raises(KeyError):
+            get_problem("nonexistent")
+
+    def test_paper_sizes_recorded(self):
+        assert get_problem("BentPipe2D").paper_size == 1500
+        assert get_problem("hood").paper_size == 220_542

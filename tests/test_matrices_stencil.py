@@ -1,0 +1,115 @@
+"""Tests for the generic finite-difference stencil assembly."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.stencil import (
+    assemble_stencil_2d,
+    assemble_stencil_3d,
+    grid_shape_2d,
+    grid_shape_3d,
+)
+from tests.conftest import dense
+
+
+class TestGridShapes:
+    def test_defaults(self):
+        assert grid_shape_2d(5) == (5, 5)
+        assert grid_shape_2d(5, 3) == (5, 3)
+        assert grid_shape_3d(4) == (4, 4, 4)
+        assert grid_shape_3d(4, 3, 2) == (4, 3, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_shape_2d(0)
+        with pytest.raises(ValueError):
+            grid_shape_2d(3, -1)
+        with pytest.raises(ValueError):
+            grid_shape_3d(3, 0)
+
+
+class TestAssemble2D:
+    def test_matches_hand_built_3x2_grid(self):
+        nx, ny = 3, 2
+        center = np.full((ny, nx), 4.0)
+        east = np.full((ny, nx), -1.0)
+        west = np.full((ny, nx), -2.0)
+        north = np.full((ny, nx), -3.0)
+        south = np.full((ny, nx), -4.0)
+        A = assemble_stencil_2d(center, east, west, north, south)
+        D = dense(A)
+        assert D.shape == (6, 6)
+        # Node 0 = (ix=0, iy=0): east to node 1, north to node 3.
+        assert D[0, 0] == 4.0
+        assert D[0, 1] == -1.0
+        assert D[0, 3] == -3.0
+        assert D[0, 2] == 0.0  # no wrap-around to the end of the row
+        # Node 1: west to node 0, east to node 2, north to node 4.
+        assert D[1, 0] == -2.0 and D[1, 2] == -1.0 and D[1, 4] == -3.0
+        # Node 4 = (ix=1, iy=1): south to node 1.
+        assert D[4, 1] == -4.0
+
+    def test_no_periodic_wraparound(self):
+        n = 4
+        ones = np.ones((n, n))
+        A = assemble_stencil_2d(4 * ones, -ones, -ones, -ones, -ones)
+        D = dense(A)
+        # Last node of row 0 must not couple east to the first node of row 1.
+        assert D[n - 1, n] == 0.0
+
+    def test_nnz_count_of_5_point_stencil(self):
+        n = 6
+        ones = np.ones((n, n))
+        A = assemble_stencil_2d(4 * ones, -ones, -ones, -ones, -ones)
+        expected_links = 2 * n * (n - 1)  # horizontal + vertical interior links
+        assert A.nnz == n * n + 2 * expected_links
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            assemble_stencil_2d(np.ones((3, 3)), np.ones((3, 2)), np.ones((3, 3)),
+                                np.ones((3, 3)), np.ones((3, 3)))
+
+    def test_spatially_varying_coefficients(self):
+        ny, nx = 3, 3
+        east = np.arange(9, dtype=float).reshape(ny, nx)
+        A = assemble_stencil_2d(np.ones((ny, nx)), east, np.zeros((ny, nx)),
+                                np.zeros((ny, nx)), np.zeros((ny, nx)))
+        D = dense(A)
+        assert D[0, 1] == east[0, 0]
+        assert D[4, 5] == east[1, 1]
+
+
+class TestAssemble3D:
+    def test_laplacian_row_sums(self):
+        n = 4
+        shape = (n, n, n)
+        coeffs = {k: np.full(shape, -1.0) for k in ("east", "west", "north", "south", "up", "down")}
+        coeffs["center"] = np.full(shape, 6.0)
+        A = assemble_stencil_3d(coeffs)
+        D = dense(A)
+        # Interior node: row sums to zero; boundary nodes: positive.
+        row_sums = D.sum(axis=1)
+        assert np.all(row_sums >= -1e-12)
+        interior = n * n * (n // 2) + n * (n // 2) + n // 2
+        assert row_sums[interior] == pytest.approx(0.0, abs=1e-12)
+
+    def test_missing_coefficient_raises(self):
+        shape = (3, 3, 3)
+        coeffs = {k: np.ones(shape) for k in ("center", "east", "west", "north", "south", "up")}
+        with pytest.raises(ValueError):
+            assemble_stencil_3d(coeffs)
+
+    def test_wrong_shape_raises(self):
+        shape = (3, 3, 3)
+        coeffs = {k: np.ones(shape) for k in ("center", "east", "west", "north", "south", "up", "down")}
+        coeffs["down"] = np.ones((3, 3, 2))
+        with pytest.raises(ValueError):
+            assemble_stencil_3d(coeffs)
+
+    def test_symmetric_when_coefficients_symmetric(self):
+        from repro.sparse import is_numerically_symmetric
+
+        shape = (3, 4, 5)
+        coeffs = {k: np.full(shape, -1.0) for k in ("east", "west", "north", "south", "up", "down")}
+        coeffs["center"] = np.full(shape, 6.0)
+        assert is_numerically_symmetric(assemble_stencil_3d(coeffs))

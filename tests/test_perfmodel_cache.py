@@ -1,0 +1,131 @@
+"""Tests for the L2 reuse model and the streaming cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.cache import CacheConfig, estimate_x_reuse, simulate_stream_hit_rate
+from repro.perfmodel.device import get_device
+
+
+V100 = get_device("v100")
+
+
+class TestCacheConfig:
+    def test_window_rows_scale_with_l2(self):
+        cfg = CacheConfig()
+        assert cfg.window_rows(V100) == pytest.approx(V100.l2_bytes / 12, rel=0.01)
+        small = V100.scaled(0.01)
+        assert cfg.window_rows(small) == pytest.approx(small.l2_bytes / 12, rel=0.02)
+
+    def test_available_bytes(self):
+        cfg = CacheConfig(x_share=0.5)
+        assert cfg.available_bytes(V100) == pytest.approx(0.5 * V100.l2_bytes)
+
+
+class TestEstimateXReuse:
+    def test_paper_regime_fp32_perfect_fp64_thrashes(self):
+        """At the paper's problem sizes the model must reproduce the profiler
+        observation: near-perfect fp32 reuse, poor fp64 reuse."""
+        n = 2_250_000  # BentPipe2D1500
+        bandwidth = 1500
+        assert estimate_x_reuse(V100, n, 4, bandwidth) == 1.0
+        assert estimate_x_reuse(V100, n, 8, bandwidth) < 0.2
+
+    def test_laplace3d_paper_regime(self):
+        n = 150 ** 3
+        bandwidth = 150 ** 2
+        assert estimate_x_reuse(V100, n, 4, bandwidth) == 1.0
+        assert estimate_x_reuse(V100, n, 8, bandwidth) < 0.2
+
+    def test_small_problem_fits_for_both(self):
+        # A tiny vector fits in L2 at either width: both precisions reuse.
+        assert estimate_x_reuse(V100, 1000, 8, 10) == 1.0
+        assert estimate_x_reuse(V100, 1000, 4, 10) == 1.0
+
+    def test_unknown_bandwidth_treated_as_full(self):
+        n = 10_000_000
+        assert estimate_x_reuse(V100, n, 4, None) == pytest.approx(
+            CacheConfig().residual_reuse
+        )
+
+    def test_scaled_device_keeps_regime(self):
+        """Dimensional scaling preserves which precision fits (the reason the
+        experiments run on a scaled device)."""
+        paper_n, paper_bw = 2_250_000, 1500
+        scale = 9216 / paper_n
+        dev = V100.scaled(scale)
+        assert estimate_x_reuse(dev, 9216, 4, 96) == estimate_x_reuse(V100, paper_n, 4, paper_bw)
+        assert estimate_x_reuse(dev, 9216, 8, 96) == estimate_x_reuse(V100, paper_n, 8, paper_bw)
+
+    def test_invalid_n_cols(self):
+        with pytest.raises(ValueError):
+            estimate_x_reuse(V100, 0, 4, 10)
+
+    def test_custom_config_residual(self):
+        cfg = CacheConfig(residual_reuse=0.25)
+        assert estimate_x_reuse(V100, 10_000_000, 8, None, cfg) == 0.25
+
+    @given(
+        n=st.integers(min_value=1, max_value=10_000_000),
+        bw=st.integers(min_value=0, max_value=100_000),
+        width=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=50)
+    def test_reuse_always_in_unit_interval(self, n, bw, width):
+        reuse = estimate_x_reuse(V100, n, width, bw)
+        assert 0.0 <= reuse <= 1.0
+
+    def test_monotone_in_value_bytes(self):
+        """Wider values can never reuse better than narrower ones."""
+        for n in (10_000, 500_000, 5_000_000):
+            r4 = estimate_x_reuse(V100, n, 4, 1000)
+            r8 = estimate_x_reuse(V100, n, 8, 1000)
+            assert r4 >= r8
+
+
+class TestStreamSimulator:
+    def test_sequential_stream_hits_within_lines(self):
+        # 32 consecutive fp32 elements share one 128-byte line: 31/32 hits.
+        indices = np.arange(32 * 100)
+        hit = simulate_stream_hit_rate(indices, 4, cache_bytes=1 << 20)
+        assert hit == pytest.approx(31 / 32, abs=0.01)
+
+    def test_repeated_small_working_set_hits(self):
+        indices = np.tile(np.arange(64), 100)
+        hit = simulate_stream_hit_rate(indices, 8, cache_bytes=1 << 16)
+        assert hit > 0.95
+
+    def test_thrashing_large_working_set_misses(self):
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 4_000_000, size=50_000)
+        hit = simulate_stream_hit_rate(indices, 8, cache_bytes=64 * 1024)
+        assert hit < 0.1
+
+    def test_fp32_hits_at_least_as_often_as_fp64(self):
+        """The paper's profiler observation in miniature: same index stream,
+        half the element width → at least the same hit rate."""
+        rng = np.random.default_rng(1)
+        # A banded access pattern similar to a stencil matrix.
+        base = np.repeat(np.arange(5_000), 5)
+        offsets = rng.integers(-50, 50, size=base.size)
+        indices = np.clip(base + offsets, 0, 4999)
+        cache = 16 * 1024
+        hit32 = simulate_stream_hit_rate(indices, 4, cache)
+        hit64 = simulate_stream_hit_rate(indices, 8, cache)
+        assert hit32 >= hit64
+
+    def test_empty_stream(self):
+        assert simulate_stream_hit_rate(np.array([], dtype=np.int64), 4, 1024) == 1.0
+
+    def test_tiny_cache_never_hits_lines(self):
+        indices = np.arange(1000)
+        assert simulate_stream_hit_rate(indices, 8, cache_bytes=16) == 0.0
+
+    def test_window_subsampling_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        indices = rng.integers(0, 100_000, size=20_000)
+        a = simulate_stream_hit_rate(indices, 4, 1 << 18, max_accesses=5_000, seed=42)
+        b = simulate_stream_hit_rate(indices, 4, 1 << 18, max_accesses=5_000, seed=42)
+        assert a == b

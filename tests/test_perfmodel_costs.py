@@ -1,0 +1,113 @@
+"""Tests for the kernel cost model."""
+
+import pytest
+
+from repro.perfmodel.costs import DEFAULT_EFFICIENCY, CostEstimate, KernelCostModel
+from repro.perfmodel.device import get_device
+
+
+@pytest.fixture
+def model():
+    return KernelCostModel("v100")
+
+
+class TestCostEstimate:
+    def test_addition(self):
+        a = CostEstimate(1.0, 10.0, 100.0)
+        b = CostEstimate(2.0, 20.0, 200.0)
+        c = a + b
+        assert (c.seconds, c.bytes, c.flops) == (3.0, 30.0, 300.0)
+
+
+class TestConstruction:
+    def test_device_by_name_or_spec(self):
+        assert KernelCostModel("v100").device.name == "v100"
+        spec = get_device("a100")
+        assert KernelCostModel(spec).device is spec
+
+    def test_efficiency_overrides_merge(self):
+        model = KernelCostModel("v100", efficiency={"spmv": {8: 0.5}})
+        assert model.efficiency["spmv"][8] == 0.5
+        # untouched entries keep defaults
+        assert model.efficiency["spmv"][4] == DEFAULT_EFFICIENCY["spmv"][4]
+        assert model.efficiency["gemv_t"] == DEFAULT_EFFICIENCY["gemv_t"]
+
+    def test_unknown_width_falls_back_to_nearest(self, model):
+        bw = model.efficiency_bandwidth("spmv", 16)
+        assert bw > 0
+
+
+class TestKernelCosts:
+    def test_spmv_paper_scale_speedup(self, model):
+        """At BentPipe2D1500 scale the modelled SpMV speedup must land in the
+        paper's observed 2.3-2.6x range."""
+        n, w, bw = 2_250_000, 5, 1500
+        t64 = model.spmv(n, n, w * n, 8, bw).seconds
+        t32 = model.spmv(n, n, w * n, 4, bw).seconds
+        assert 2.2 <= t64 / t32 <= 2.7
+
+    def test_gemv_trans_paper_scale_speedup(self, model):
+        n, k = 2_250_000, 25
+        t64 = model.gemv(n, k, 8, trans=True).seconds
+        t32 = model.gemv(n, k, 4, trans=True).seconds
+        assert 1.1 <= t64 / t32 <= 1.5  # paper: 1.28
+
+    def test_gemv_notrans_paper_scale_speedup(self, model):
+        n, k = 2_250_000, 25
+        t64 = model.gemv(n, k, 8, trans=False).seconds
+        t32 = model.gemv(n, k, 4, trans=False).seconds
+        assert 1.35 <= t64 / t32 <= 1.75  # paper: 1.57
+
+    def test_norm_modest_speedup(self, model):
+        n = 2_250_000
+        t64 = model.norm2(n, 8).seconds
+        t32 = model.norm2(n, 4).seconds
+        assert 1.0 <= t64 / t32 <= 1.6  # paper: 1.15
+
+    def test_costs_scale_with_size(self, model):
+        small = model.axpy(1000, 8).seconds
+        large = model.axpy(1_000_000, 8).seconds
+        assert large > small
+
+    def test_launch_latency_floor(self, model):
+        assert model.scal(1, 8).seconds >= model.device.launch_latency
+
+    def test_bytes_and_flops_accounting(self, model):
+        est = model.axpy(1000, 8)
+        assert est.bytes == 3 * 1000 * 8
+        assert est.flops == 2000
+        dot = model.dot(500, 4)
+        assert dot.bytes == 2 * 500 * 4
+
+    def test_cast_counts_both_widths(self, model):
+        est = model.cast(1000, 8, 4)
+        assert est.bytes == 1000 * 12
+
+    def test_host_transfer(self, model):
+        est = model.host_transfer(1 << 20)
+        assert est.seconds > model.device.host_transfer_latency
+
+    def test_host_dense_op(self, model):
+        small = model.host_dense_op(10)
+        big = model.host_dense_op(10_000_000)
+        assert big.seconds > small.seconds >= model.device.host_op_latency
+
+    def test_copy_and_scal_traffic(self, model):
+        assert model.copy(100, 8).bytes == 1600
+        assert model.scal(100, 8).bytes == 1600
+
+    def test_spmv_includes_rowptr_and_result(self, model):
+        est = model.spmv(1000, 1000, 5000, 8, 10)
+        # values + indices + compulsory x + rowptr + y
+        assert est.bytes >= 5000 * 12 + 1000 * 8
+
+    def test_memory_bound_kernels_insensitive_to_flops_peak(self):
+        """The GMRES kernels are memory bound: doubling peak FLOPs must not
+        change their modelled time."""
+        import dataclasses
+
+        v100 = get_device("v100")
+        fast = dataclasses.replace(v100, name="v100-fast", flops_fp64=2 * v100.flops_fp64)
+        t_base = KernelCostModel(v100).spmv(10_000, 10_000, 50_000, 8, 100).seconds
+        t_fast = KernelCostModel(fast).spmv(10_000, 10_000, 50_000, 8, 100).seconds
+        assert t_base == pytest.approx(t_fast)

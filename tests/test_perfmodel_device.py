@@ -1,0 +1,68 @@
+"""Tests for repro.perfmodel.device."""
+
+import pytest
+
+from repro.perfmodel.device import KNOWN_DEVICES, DeviceSpec, get_device
+
+
+class TestGetDevice:
+    def test_v100_default_values(self):
+        v100 = get_device("v100")
+        assert v100.name == "v100"
+        assert v100.l2_bytes == 6 * 1024 * 1024
+        assert v100.memory_bytes == 16 * 1024 ** 3
+        assert v100.memory_bandwidth > 5e11
+        assert v100.is_gpu
+
+    def test_case_insensitive(self):
+        assert get_device("V100") is get_device("v100")
+
+    def test_unknown_device_raises_with_names(self):
+        with pytest.raises(KeyError) as exc:
+            get_device("h100")
+        assert "v100" in str(exc.value)
+
+    def test_known_devices_registry(self):
+        assert {"v100", "a100", "p100", "host"} <= set(KNOWN_DEVICES)
+
+    def test_host_is_not_gpu(self):
+        assert not get_device("host").is_gpu
+
+    def test_peak_flops_by_width(self):
+        v100 = get_device("v100")
+        assert v100.peak_flops(8) < v100.peak_flops(4) <= v100.peak_flops(2)
+
+
+class TestScaledDevice:
+    def test_scaling_capacities_and_latencies(self):
+        v100 = get_device("v100")
+        scaled = v100.scaled(0.01)
+        assert scaled.l2_bytes == pytest.approx(v100.l2_bytes * 0.01, rel=0.01)
+        assert scaled.launch_latency == pytest.approx(v100.launch_latency * 0.01)
+        assert scaled.host_op_latency == pytest.approx(v100.host_op_latency * 0.01)
+        assert scaled.memory_bytes == pytest.approx(v100.memory_bytes * 0.01, rel=0.01)
+
+    def test_scaling_preserves_bandwidth_and_flops(self):
+        v100 = get_device("v100")
+        scaled = v100.scaled(0.001)
+        assert scaled.memory_bandwidth == v100.memory_bandwidth
+        assert scaled.flops_fp32 == v100.flops_fp32
+
+    def test_scaled_name(self):
+        assert "x0.5" in get_device("v100").scaled(0.5).name
+        assert get_device("v100").scaled(0.5, name="tiny").name == "tiny"
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_device("v100").scaled(0.0)
+        with pytest.raises(ValueError):
+            get_device("v100").scaled(-1)
+
+    def test_upscaling_allowed(self):
+        bigger = get_device("v100").scaled(2.0)
+        assert bigger.l2_bytes == 2 * get_device("v100").l2_bytes
+
+    def test_scaled_is_new_instance(self):
+        v100 = get_device("v100")
+        assert v100.scaled(0.5) is not v100
+        assert isinstance(v100.scaled(0.5), DeviceSpec)

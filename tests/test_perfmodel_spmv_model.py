@@ -1,0 +1,102 @@
+"""Tests for the Section V-D analytic SpMV model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perfmodel.spmv_model import (
+    csr_bytes_per_row_double,
+    csr_bytes_per_row_float,
+    predicted_spmv_speedup,
+    spmv_traffic,
+)
+
+
+class TestPaperFormulas:
+    def test_double_traffic_is_20w(self):
+        assert csr_bytes_per_row_double(5) == 100
+        assert csr_bytes_per_row_double(7) == 140
+
+    def test_float_traffic_is_8w_plus_4(self):
+        assert csr_bytes_per_row_float(5) == 44
+        assert csr_bytes_per_row_float(7) == 60
+
+    def test_paper_quoted_speedups(self):
+        # The paper quotes 2.27x for 5 nonzeros/row and 2.33x for 7.
+        assert predicted_spmv_speedup(5) == pytest.approx(2.27, abs=0.01)
+        assert predicted_spmv_speedup(7) == pytest.approx(2.33, abs=0.01)
+
+    def test_speedup_limit_is_2_5(self):
+        assert predicted_spmv_speedup(10_000) == pytest.approx(2.5, abs=1e-3)
+
+    def test_speedup_monotone_in_w(self):
+        values = [predicted_spmv_speedup(w) for w in range(1, 50)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_w(self):
+        with pytest.raises(ValueError):
+            predicted_spmv_speedup(0)
+        with pytest.raises(ValueError):
+            predicted_spmv_speedup(-3)
+
+    @given(w=st.floats(min_value=0.5, max_value=1000))
+    def test_closed_form_matches_ratio(self, w):
+        ratio = csr_bytes_per_row_double(w) / csr_bytes_per_row_float(w)
+        assert predicted_spmv_speedup(w) == pytest.approx(ratio)
+        assert predicted_spmv_speedup(w) == pytest.approx(5 * w / (2 * w + 1))
+
+
+class TestGeneralisedTraffic:
+    def test_zero_reuse_matches_paper_double_model(self):
+        n, w = 1000, 5
+        traffic = spmv_traffic(n, n * w, 8, x_reuse=0.0)
+        assert traffic.total == pytest.approx(csr_bytes_per_row_double(w) * n)
+
+    def test_perfect_reuse_matches_paper_float_model(self):
+        n, w = 1000, 5
+        traffic = spmv_traffic(n, n * w, 4, x_reuse=1.0)
+        assert traffic.total == pytest.approx(csr_bytes_per_row_float(w) * n)
+
+    def test_rowptr_and_y_increase_traffic(self):
+        n, w = 500, 5
+        without = spmv_traffic(n, n * w, 8, x_reuse=0.0)
+        with_extra = spmv_traffic(n, n * w, 8, x_reuse=0.0, include_rowptr_and_y=True)
+        assert with_extra.total > without.total
+        assert with_extra.rowptr_bytes == (n + 1) * 4
+        assert with_extra.y_bytes == n * 8
+
+    def test_partial_reuse_between_extremes(self):
+        n, w = 1000, 7
+        lo = spmv_traffic(n, n * w, 8, x_reuse=1.0).total
+        mid = spmv_traffic(n, n * w, 8, x_reuse=0.5).total
+        hi = spmv_traffic(n, n * w, 8, x_reuse=0.0).total
+        assert lo < mid < hi
+
+    def test_compulsory_x_read_floor(self):
+        # Even with "perfect" reuse, x must be streamed in once.
+        n = 100
+        traffic = spmv_traffic(n, n, 4, x_reuse=1.0)
+        assert traffic.x_bytes >= n * 4
+
+    def test_rectangular_matrix_uses_n_cols(self):
+        traffic = spmv_traffic(100, 500, 4, x_reuse=1.0, n_cols=1000)
+        assert traffic.x_bytes == 1000 * 4
+
+    def test_invalid_reuse_fraction(self):
+        with pytest.raises(ValueError):
+            spmv_traffic(10, 50, 8, x_reuse=1.5)
+        with pytest.raises(ValueError):
+            spmv_traffic(10, 50, 8, x_reuse=-0.1)
+
+    @given(
+        n=st.integers(min_value=1, max_value=10_000),
+        w=st.integers(min_value=1, max_value=50),
+        reuse=st.floats(min_value=0.0, max_value=1.0),
+        value_bytes=st.sampled_from([4, 8]),
+    )
+    def test_traffic_components_nonnegative_and_consistent(self, n, w, reuse, value_bytes):
+        traffic = spmv_traffic(n, n * w, value_bytes, reuse, include_rowptr_and_y=True)
+        assert traffic.values_bytes == n * w * value_bytes
+        assert traffic.indices_bytes == n * w * 4
+        assert traffic.x_bytes >= 0
+        assert traffic.total >= traffic.values_bytes + traffic.indices_bytes

@@ -1,0 +1,122 @@
+"""Tests for repro.precision."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.precision import (
+    DOUBLE,
+    HALF,
+    PRECISIONS,
+    SINGLE,
+    as_precision,
+    promote,
+    unit_roundoff,
+)
+
+
+class TestPrecisionDescriptors:
+    def test_byte_widths(self):
+        assert HALF.bytes == 2
+        assert SINGLE.bytes == 4
+        assert DOUBLE.bytes == 8
+
+    def test_dtypes(self):
+        assert HALF.dtype == np.float16
+        assert SINGLE.dtype == np.float32
+        assert DOUBLE.dtype == np.float64
+
+    def test_epsilon_matches_numpy(self):
+        assert SINGLE.epsilon == pytest.approx(np.finfo(np.float32).eps)
+        assert DOUBLE.epsilon == pytest.approx(np.finfo(np.float64).eps)
+
+    def test_unit_roundoff_is_half_epsilon(self):
+        for prec in (HALF, SINGLE, DOUBLE):
+            assert prec.unit_roundoff == pytest.approx(prec.epsilon / 2)
+
+    def test_numpy_name(self):
+        assert SINGLE.numpy_name == "float32"
+        assert DOUBLE.numpy_name == "float64"
+
+    def test_ordering(self):
+        assert HALF < SINGLE < DOUBLE
+        assert DOUBLE >= SINGLE
+        assert SINGLE <= SINGLE
+
+    def test_astype_converts(self):
+        x = np.ones(4, dtype=np.float64)
+        y = SINGLE.astype(x)
+        assert y.dtype == np.float32
+
+    def test_astype_no_copy_when_same(self):
+        x = np.ones(4, dtype=np.float32)
+        assert SINGLE.astype(x) is x
+
+    def test_str(self):
+        assert str(SINGLE) == "single"
+
+
+class TestAsPrecision:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("half", HALF),
+            ("fp16", HALF),
+            ("float16", HALF),
+            ("single", SINGLE),
+            ("float", SINGLE),
+            ("fp32", SINGLE),
+            ("float32", SINGLE),
+            ("double", DOUBLE),
+            ("fp64", DOUBLE),
+            ("float64", DOUBLE),
+        ],
+    )
+    def test_string_aliases(self, alias, expected):
+        assert as_precision(alias) is expected
+
+    def test_case_insensitive(self):
+        assert as_precision("Double") is DOUBLE
+        assert as_precision("FP32") is SINGLE
+
+    def test_from_numpy_dtype(self):
+        assert as_precision(np.dtype(np.float32)) is SINGLE
+        assert as_precision(np.float64) is DOUBLE
+
+    def test_from_precision_is_identity(self):
+        assert as_precision(SINGLE) is SINGLE
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError):
+            as_precision("quad")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ValueError):
+            as_precision(np.int32)
+
+    def test_registry_covers_all_aliases(self):
+        assert set(PRECISIONS.values()) == {HALF, SINGLE, DOUBLE}
+
+
+class TestPromote:
+    def test_promote_widens(self):
+        assert promote("single", "double") is DOUBLE
+        assert promote("half", "single") is SINGLE
+
+    def test_promote_same(self):
+        assert promote("double", DOUBLE) is DOUBLE
+
+    @given(
+        a=st.sampled_from(["half", "single", "double"]),
+        b=st.sampled_from(["half", "single", "double"]),
+    )
+    def test_promote_commutative_and_idempotent(self, a, b):
+        assert promote(a, b) is promote(b, a)
+        assert promote(a, a) is as_precision(a)
+        assert promote(a, b).bytes == max(as_precision(a).bytes, as_precision(b).bytes)
+
+
+def test_unit_roundoff_helper():
+    assert unit_roundoff("single") == pytest.approx(np.finfo(np.float32).eps / 2)
+    assert unit_roundoff("double") < unit_roundoff("single") < unit_roundoff("half")

@@ -1,0 +1,63 @@
+"""Tests for SciPy/precision conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.perfmodel.timer import use_timer
+from repro.sparse import from_scipy, to_precision, to_scipy
+from tests.conftest import dense
+
+
+class TestFromScipy:
+    def test_accepts_any_scipy_format(self, rng):
+        D = rng.standard_normal((10, 10))
+        D[np.abs(D) < 1.0] = 0.0
+        for fmt in ("csr", "csc", "coo", "lil"):
+            A = from_scipy(sp.csr_matrix(D).asformat(fmt), name=fmt)
+            np.testing.assert_allclose(dense(A), D)
+
+    def test_duplicates_summed(self):
+        coo = sp.coo_matrix((np.array([1.0, 2.0]), (np.array([0, 0]), np.array([0, 0]))), shape=(1, 1))
+        A = from_scipy(coo)
+        assert A.nnz == 1
+        assert A.data[0] == 3.0
+
+    def test_precision_argument(self, laplace_small):
+        A = from_scipy(laplace_small.to_scipy(), precision="single")
+        assert A.dtype == np.float32
+
+    def test_name_carried(self):
+        A = from_scipy(sp.identity(3, format="csr"), name="eye")
+        assert A.name == "eye"
+
+
+class TestToScipy:
+    def test_roundtrip(self, bentpipe_small):
+        S = to_scipy(bentpipe_small)
+        np.testing.assert_allclose(S.toarray(), dense(bentpipe_small))
+
+    def test_preserves_dtype_and_nnz(self, laplace_small):
+        S = to_scipy(laplace_small)
+        assert S.dtype == laplace_small.dtype
+        assert S.nnz == laplace_small.nnz
+
+
+class TestToPrecision:
+    def test_converts(self, laplace_small):
+        low = to_precision(laplace_small, "single")
+        assert low.dtype == np.float32
+        np.testing.assert_allclose(low.data, laplace_small.data.astype(np.float32))
+
+    def test_same_precision_is_identity(self, laplace_small):
+        assert to_precision(laplace_small, "double") is laplace_small
+
+    def test_metered_conversion_charges_matrix_copy(self, laplace_small):
+        with use_timer(name="t") as timer:
+            to_precision(laplace_small, "single", meter=True)
+        assert timer.model_seconds_for("Matrix copy") > 0
+
+    def test_unmetered_conversion_charges_nothing(self, laplace_small):
+        with use_timer(name="t") as timer:
+            to_precision(laplace_small, "single", meter=False)
+        assert timer.total_model_seconds() == 0.0

@@ -1,0 +1,161 @@
+"""Tests for the CsrMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.precision import DOUBLE, SINGLE
+from repro.sparse import CsrMatrix
+from tests.conftest import dense
+
+
+def small_csr():
+    """[[2, -1, 0], [0, 3, 1], [0, 0, 4]]"""
+    data = np.array([2.0, -1.0, 3.0, 1.0, 4.0])
+    indices = np.array([0, 1, 1, 2, 2], dtype=np.int32)
+    indptr = np.array([0, 2, 4, 5])
+    return CsrMatrix(data, indices, indptr, (3, 3), name="small")
+
+
+class TestConstructionAndValidation:
+    def test_basic_properties(self):
+        A = small_csr()
+        assert A.shape == (3, 3)
+        assert A.nnz == 5
+        assert A.n_rows == A.n_cols == 3
+        assert A.is_square
+        assert A.dtype == np.float64
+        assert A.precision is DOUBLE
+        assert A.name == "small"
+
+    def test_indices_stored_as_int32(self):
+        A = small_csr()
+        assert A.indices.dtype == np.int32
+
+    def test_integer_data_promoted_to_float(self):
+        A = CsrMatrix(
+            np.array([1, 2]), np.array([0, 1]), np.array([0, 1, 2]), (2, 2)
+        )
+        assert A.dtype == np.float64
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.ones(1), np.zeros(1, dtype=np.int32), np.array([0, 1]), (3, 3))
+
+    def test_nonzero_first_indptr(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.ones(1), np.zeros(1, dtype=np.int32), np.array([1, 1, 1, 1]), (3, 3))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.ones(2), np.zeros(2, dtype=np.int32), np.array([0, 2, 1, 2]), (3, 3))
+
+    def test_mismatched_data_length(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.ones(3), np.zeros(2, dtype=np.int32), np.array([0, 1, 2, 2]), (3, 3))
+
+    def test_column_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.ones(1), np.array([5], dtype=np.int32), np.array([0, 1, 1, 1]), (3, 3))
+
+    def test_check_false_skips_validation(self):
+        # Intentionally inconsistent, but check=False tolerates it.
+        CsrMatrix(np.ones(1), np.array([5], dtype=np.int32), np.array([0, 1, 1, 1]), (3, 3), check=False)
+
+
+class TestFactories:
+    def test_identity(self):
+        I = CsrMatrix.identity(4, "single")
+        assert I.dtype == np.float32
+        np.testing.assert_allclose(dense(I), np.eye(4))
+
+    def test_from_coo_sums_duplicates(self):
+        rows = np.array([0, 0, 1, 1, 1])
+        cols = np.array([0, 0, 1, 2, 2])
+        vals = np.array([1.0, 2.0, 5.0, 1.0, 1.5])
+        A = CsrMatrix.from_coo(rows, cols, vals, (2, 3))
+        expected = np.array([[3.0, 0, 0], [0, 5.0, 2.5]])
+        np.testing.assert_allclose(dense(A), expected)
+
+    def test_from_scipy_roundtrip(self, laplace_small):
+        import scipy.sparse as sp
+
+        S = laplace_small.to_scipy()
+        assert isinstance(S, sp.csr_matrix)
+        back = CsrMatrix.from_scipy(S, name="roundtrip")
+        np.testing.assert_allclose(dense(back), dense(laplace_small))
+
+
+class TestQueries:
+    def test_nnz_per_row(self):
+        np.testing.assert_array_equal(small_csr().nnz_per_row(), [2, 2, 1])
+
+    def test_row_index_of_nonzeros(self):
+        np.testing.assert_array_equal(small_csr().row_index_of_nonzeros(), [0, 0, 1, 1, 2])
+
+    def test_bandwidth(self):
+        assert small_csr().bandwidth() == 1
+        assert CsrMatrix.identity(5).bandwidth() == 0
+
+    def test_bandwidth_cached(self):
+        A = small_csr()
+        assert A.bandwidth() == A.bandwidth()
+
+    def test_diagonal(self):
+        np.testing.assert_allclose(small_csr().diagonal(), [2.0, 3.0, 4.0])
+
+    def test_diagonal_with_missing_entries(self):
+        A = CsrMatrix(
+            np.array([1.0]), np.array([1], dtype=np.int32), np.array([0, 1, 1]), (2, 2)
+        )
+        np.testing.assert_allclose(A.diagonal(), [0.0, 0.0])
+
+    def test_storage_bytes(self, laplace_small):
+        expected = (
+            laplace_small.data.nbytes
+            + laplace_small.indices.nbytes
+            + laplace_small.indptr.nbytes
+        )
+        assert laplace_small.storage_bytes() == expected
+
+    def test_repr(self, laplace_small):
+        text = repr(laplace_small)
+        assert "100x100" in text and "Laplace2D10" in text
+
+
+class TestMatvecAndConversion:
+    def test_matvec_matches_dense(self, laplace_small, rng):
+        x = rng.standard_normal(laplace_small.n_cols)
+        np.testing.assert_allclose(laplace_small.matvec(x), dense(laplace_small) @ x)
+
+    def test_matmul_operator(self, laplace_small, rng):
+        x = rng.standard_normal(laplace_small.n_cols)
+        np.testing.assert_allclose(laplace_small @ x, laplace_small.matvec(x))
+
+    def test_rmatvec_matches_dense(self, bentpipe_small, rng):
+        x = rng.standard_normal(bentpipe_small.n_rows)
+        np.testing.assert_allclose(
+            bentpipe_small.rmatvec(x), dense(bentpipe_small).T @ x, rtol=1e-12
+        )
+
+    def test_astype_shares_indices(self, laplace_small):
+        low = laplace_small.astype("single")
+        assert low.dtype == np.float32
+        assert low.indices is laplace_small.indices
+        assert low.indptr is laplace_small.indptr
+        assert low.precision is SINGLE
+
+    def test_astype_same_precision_returns_self(self, laplace_small):
+        assert laplace_small.astype("double") is laplace_small
+
+    def test_astype_preserves_cached_bandwidth(self, laplace_small):
+        bw = laplace_small.bandwidth()
+        assert laplace_small.astype("single").bandwidth() == bw
+
+    def test_copy_is_deep(self, laplace_small):
+        cp = laplace_small.copy()
+        cp.data[0] = 999.0
+        assert laplace_small.data[0] != 999.0
+
+    def test_matvec_wrong_out_length(self, laplace_small):
+        with pytest.raises(ValueError):
+            laplace_small.matvec(np.ones(laplace_small.n_cols), out=np.zeros(3))

@@ -1,0 +1,135 @@
+"""Tests for reverse Cuthill–McKee and symmetric permutation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.sparse import (
+    CsrMatrix,
+    from_scipy,
+    permute_symmetric,
+    pseudo_peripheral_node,
+    reverse_cuthill_mckee,
+)
+from tests.conftest import dense
+
+
+def random_symmetric(n, density, seed):
+    a = sp.random(n, n, density=density, random_state=np.random.RandomState(seed), format="csr")
+    a = a + a.T + sp.identity(n) * 2.0
+    return from_scipy(a.tocsr(), name=f"sym{n}")
+
+
+class TestReverseCuthillMckee:
+    def test_is_a_permutation(self, laplace_small):
+        perm = reverse_cuthill_mckee(laplace_small)
+        assert sorted(perm.tolist()) == list(range(laplace_small.n_rows))
+
+    def test_reduces_bandwidth_of_shuffled_laplacian(self, laplace_medium, rng):
+        # Destroy the natural ordering, then ask RCM to recover a banded one.
+        n = laplace_medium.n_rows
+        shuffle = rng.permutation(n)
+        shuffled = permute_symmetric(laplace_medium, shuffle)
+        assert shuffled.bandwidth() > laplace_medium.bandwidth()
+        perm = reverse_cuthill_mckee(shuffled)
+        restored = permute_symmetric(shuffled, perm)
+        assert restored.bandwidth() < shuffled.bandwidth()
+        assert restored.bandwidth() <= 3 * laplace_medium.bandwidth()
+
+    def test_comparable_to_scipy_rcm(self, laplace_medium, rng):
+        n = laplace_medium.n_rows
+        shuffled = permute_symmetric(laplace_medium, rng.permutation(n))
+        ours = permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled))
+        scipy_perm = np.asarray(
+            csgraph.reverse_cuthill_mckee(shuffled.to_scipy(), symmetric_mode=True)
+        ).astype(np.int64)
+        theirs = permute_symmetric(shuffled, scipy_perm)
+        assert ours.bandwidth() <= 2 * max(theirs.bandwidth(), 1)
+
+    def test_handles_nonsymmetric_pattern(self, bentpipe_small):
+        perm = reverse_cuthill_mckee(bentpipe_small)
+        assert sorted(perm.tolist()) == list(range(bentpipe_small.n_rows))
+
+    def test_handles_disconnected_components(self):
+        blocks = sp.block_diag(
+            [sp.csr_matrix(np.array([[2.0, 1.0], [1.0, 2.0]])) for _ in range(3)]
+        ).tocsr()
+        A = from_scipy(blocks)
+        perm = reverse_cuthill_mckee(A)
+        assert sorted(perm.tolist()) == list(range(6))
+
+    def test_diagonal_matrix(self):
+        A = CsrMatrix.identity(5)
+        perm = reverse_cuthill_mckee(A)
+        assert sorted(perm.tolist()) == list(range(5))
+
+    def test_empty_matrix(self):
+        A = CsrMatrix(np.array([]), np.array([], dtype=np.int32), np.array([0]), (0, 0))
+        assert reverse_cuthill_mckee(A).size == 0
+
+    def test_requires_square(self):
+        A = CsrMatrix(
+            np.array([1.0]), np.array([0], dtype=np.int32), np.array([0, 1]), (1, 2)
+        )
+        with pytest.raises(ValueError):
+            reverse_cuthill_mckee(A)
+
+
+class TestPseudoPeripheralNode:
+    def test_path_graph_endpoint(self):
+        # For a path graph the pseudo-peripheral node must be an endpoint.
+        n = 20
+        diags = sp.diags([np.ones(n - 1), 2 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        A = from_scipy(diags.tocsr())
+        node = pseudo_peripheral_node(A)
+        assert node in (0, n - 1)
+
+    def test_empty_raises(self):
+        A = CsrMatrix(np.array([]), np.array([], dtype=np.int32), np.array([0]), (0, 0))
+        with pytest.raises(ValueError):
+            pseudo_peripheral_node(A)
+
+
+class TestPermuteSymmetric:
+    def test_matches_dense_permutation(self, rng):
+        A = random_symmetric(30, 0.15, 5)
+        perm = rng.permutation(30)
+        P = permute_symmetric(A, perm)
+        expected = dense(A)[np.ix_(perm, perm)]
+        np.testing.assert_allclose(dense(P), expected)
+
+    def test_preserves_values_multiset(self, laplace_small, rng):
+        perm = rng.permutation(laplace_small.n_rows)
+        P = permute_symmetric(laplace_small, perm)
+        np.testing.assert_allclose(
+            np.sort(P.data), np.sort(laplace_small.data)
+        )
+
+    def test_identity_permutation_is_noop(self, laplace_small):
+        perm = np.arange(laplace_small.n_rows)
+        P = permute_symmetric(laplace_small, perm)
+        np.testing.assert_allclose(dense(P), dense(laplace_small))
+
+    def test_column_indices_sorted_within_rows(self, laplace_small, rng):
+        P = permute_symmetric(laplace_small, rng.permutation(laplace_small.n_rows))
+        for i in range(P.n_rows):
+            row = P.indices[P.indptr[i]: P.indptr[i + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    def test_invalid_permutation_rejected(self, laplace_small):
+        with pytest.raises(ValueError):
+            permute_symmetric(laplace_small, np.zeros(laplace_small.n_rows, dtype=int))
+        with pytest.raises(ValueError):
+            permute_symmetric(laplace_small, np.arange(5))
+
+    def test_solution_consistency_through_permutation(self, laplace_small, rng):
+        """Solving the permuted system gives the permuted solution."""
+        import scipy.sparse.linalg as spla
+
+        perm = rng.permutation(laplace_small.n_rows)
+        P = permute_symmetric(laplace_small, perm)
+        b = rng.standard_normal(laplace_small.n_rows)
+        x = spla.spsolve(laplace_small.to_scipy().tocsc(), b)
+        xp = spla.spsolve(P.to_scipy().tocsc(), b[perm])
+        np.testing.assert_allclose(xp, x[perm], rtol=1e-8)

@@ -1,0 +1,93 @@
+"""Tests for structural/numerical matrix property queries."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    CsrMatrix,
+    avg_nonzeros_per_row,
+    bandwidth,
+    diagonal_dominance_ratio,
+    from_scipy,
+    is_numerically_symmetric,
+    is_structurally_symmetric,
+    max_nonzeros_per_row,
+)
+from repro.sparse.properties import symmetry_class
+
+
+class TestCounts:
+    def test_avg_nonzeros_per_row_laplacian(self, laplace_small):
+        # interior 10x10 grid 5-point stencil: 460 nonzeros over 100 rows.
+        assert avg_nonzeros_per_row(laplace_small) == pytest.approx(4.6)
+
+    def test_max_nonzeros_per_row(self, laplace_small):
+        assert max_nonzeros_per_row(laplace_small) == 5
+
+    def test_empty_matrix(self):
+        A = CsrMatrix(np.array([]), np.array([], dtype=np.int32), np.array([0]), (0, 0))
+        assert avg_nonzeros_per_row(A) == 0.0
+        assert max_nonzeros_per_row(A) == 0
+
+    def test_bandwidth_of_laplacian(self, laplace_small):
+        assert bandwidth(laplace_small) == 10  # grid width
+
+    def test_bandwidth_of_diagonal(self):
+        assert bandwidth(CsrMatrix.identity(7)) == 0
+
+
+class TestSymmetry:
+    def test_laplacian_is_spd_class(self, laplace_small):
+        assert is_structurally_symmetric(laplace_small)
+        assert is_numerically_symmetric(laplace_small)
+        assert symmetry_class(laplace_small) == "spd"
+
+    def test_bentpipe_is_nonsymmetric(self, bentpipe_small):
+        assert is_numerically_symmetric(bentpipe_small) is False
+        assert symmetry_class(bentpipe_small) == "n"
+
+    def test_bentpipe_structurally_symmetric(self, bentpipe_small):
+        # Convection-diffusion stencils have a symmetric pattern with
+        # nonsymmetric values.
+        assert is_structurally_symmetric(bentpipe_small)
+
+    def test_structurally_nonsymmetric_pattern(self):
+        A = from_scipy(sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]])))
+        assert not is_structurally_symmetric(A)
+        assert not is_numerically_symmetric(A)
+
+    def test_symmetric_but_not_spd_class(self):
+        # Symmetric with a non-dominant diagonal: classified "y", not "spd".
+        D = np.array([[1.0, -5.0], [-5.0, 1.0]])
+        A = from_scipy(sp.csr_matrix(D))
+        assert is_numerically_symmetric(A)
+        assert symmetry_class(A) == "y"
+
+    def test_rectangular_never_symmetric(self):
+        A = from_scipy(sp.csr_matrix(np.ones((2, 3))))
+        assert not is_structurally_symmetric(A)
+        assert not is_numerically_symmetric(A)
+
+    def test_tolerance_in_numerical_symmetry(self):
+        D = np.array([[2.0, 1.0 + 1e-15], [1.0, 2.0]])
+        A = from_scipy(sp.csr_matrix(D))
+        assert is_numerically_symmetric(A)
+
+
+class TestDiagonalDominance:
+    def test_laplacian_weakly_dominant(self, laplace_small):
+        assert diagonal_dominance_ratio(laplace_small) >= 1.0
+
+    def test_non_dominant_matrix(self):
+        D = np.array([[1.0, 10.0], [10.0, 1.0]])
+        A = from_scipy(sp.csr_matrix(D))
+        assert diagonal_dominance_ratio(A) == pytest.approx(0.1)
+
+    def test_diagonal_only_matrix_is_inf(self):
+        assert diagonal_dominance_ratio(CsrMatrix.identity(3)) == np.inf
+
+    def test_requires_square_nonempty(self):
+        A = from_scipy(sp.csr_matrix(np.ones((2, 3))))
+        with pytest.raises(ValueError):
+            diagonal_dominance_ratio(A)
