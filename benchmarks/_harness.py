@@ -1,7 +1,32 @@
 """Helpers shared by the benchmark modules (kept out of conftest so the
-benchmark files can import them explicitly)."""
+benchmark files can import them explicitly).
+
+Besides the pytest-benchmark glue (:func:`run_once`) this module provides
+the machine-readable benchmark output used by CI:
+
+* :func:`write_bench_json` writes a ``BENCH_<name>.json`` file with one
+  entry per (kernel, precision) bucket — wall seconds, modelled seconds,
+  call counts — tagged with backend, matrix and dtype, so perf trajectories
+  can be diffed across commits;
+* ``python benchmarks/_harness.py --smoke`` runs scaled-down Figure 1 and
+  Figure 5 configurations (< 2 minutes) and emits ``BENCH_smoke.json``
+  (the CI smoke-benchmark job uploads it as an artifact);
+* ``python benchmarks/_harness.py --backends`` times the registered kernel
+  backends against each other on the 64³ Laplace3D SpMV/SpMM and emits
+  ``BENCH_backends.json`` including the measured speedups.
+"""
 
 from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def run_once(benchmark, func):
@@ -12,3 +37,215 @@ def run_once(benchmark, func):
     experiment reports, the wall time is just bookkeeping.
     """
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------- #
+# machine-readable benchmark records                                     #
+# ---------------------------------------------------------------------- #
+def timer_entries(
+    timer,
+    *,
+    benchmark: str,
+    backend: str,
+    matrix: str = "",
+    extra: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Flatten a :class:`repro.perfmodel.timer.KernelTimer` into JSON rows.
+
+    One row per (kernel label, precision) bucket, tagged with the backend
+    and matrix so rows from different configurations can live in one file.
+    """
+    rows: List[Dict[str, object]] = []
+    for rec in timer.records:
+        row: Dict[str, object] = {
+            "benchmark": benchmark,
+            "backend": backend,
+            "matrix": matrix,
+            "kernel": rec.label,
+            "dtype": rec.precision,
+            "calls": rec.calls,
+            "wall_seconds": rec.wall_seconds,
+            "model_seconds": rec.model_seconds,
+            "bytes": rec.bytes,
+            "flops": rec.flops,
+        }
+        if extra:
+            row.update(extra)
+        rows.append(row)
+    return rows
+
+
+def write_bench_json(
+    name: str,
+    entries: List[Dict[str, object]],
+    *,
+    summary: Optional[Dict[str, object]] = None,
+    out: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/results/``.
+
+    Returns the path written.  The payload is self-describing: a schema
+    tag, environment stamps, an optional summary block and the per-kernel
+    ``entries``.
+    """
+    import numpy
+    import scipy
+
+    path = out or (RESULTS_DIR / f"BENCH_{name}.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, object] = {
+        "schema": "repro-bench/1",
+        "name": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "entries": entries,
+    }
+    if summary:
+        payload["summary"] = summary
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# CLI modes (used by CI)                                                 #
+# ---------------------------------------------------------------------- #
+def _smoke_entries() -> List[Dict[str, object]]:
+    """Scaled-down Figure 1 + Figure 5 runs with per-kernel wall times."""
+    from repro.config import get_config
+    from repro.experiments import ExperimentConfig, fig1_fd_laplace3d, fig5_kernel_speedups
+    from repro.perfmodel import KernelTimer, use_timer
+
+    cfg = ExperimentConfig(quick=True)
+    backend = get_config().backend
+    entries: List[Dict[str, object]] = []
+    for label, driver, matrix in (
+        ("figure1_fd_laplace3d", fig1_fd_laplace3d.run, "Laplace3D16"),
+        ("figure5_kernel_speedups", fig5_kernel_speedups.run, "three-PDE suite"),
+    ):
+        with use_timer(KernelTimer(label)) as timer:
+            start = time.perf_counter()
+            driver(cfg)
+            elapsed = time.perf_counter() - start
+        entries.extend(
+            timer_entries(
+                timer,
+                benchmark=label,
+                backend=backend,
+                matrix=matrix,
+                extra={"total_wall_seconds": elapsed},
+            )
+        )
+        print(f"[smoke] {label}: {elapsed:.1f} s wall", flush=True)
+    return entries
+
+
+def run_smoke(out: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """CI smoke benchmark: quick fig1/fig5 configs → BENCH_smoke.json."""
+    path = write_bench_json("smoke", _smoke_entries(), out=out)
+    print(f"[smoke] wrote {path}")
+    return path
+
+
+def _time_kernel(func, *, repeats: int = 7) -> float:
+    """Best-of-``repeats`` wall time of ``func`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_backend_comparison(
+    grid: int = 64,
+    *,
+    n_rhs: int = 8,
+    out: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Time every registered backend on Laplace3D SpMV/SpMM → BENCH_backends.json.
+
+    The reference configuration of the acceptance gate is the 64³ Laplace3D
+    matrix in fp64; the summary block records the SciPy-over-NumPy SpMV
+    speedup for that configuration.
+    """
+    from repro.backends import available_backends, get_backend
+    from repro.config import rng
+    from repro.matrices import laplace3d
+
+    matrix64 = laplace3d(grid)
+    entries: List[Dict[str, object]] = []
+    spmv_times: Dict[str, Dict[str, float]] = {}
+    gen = rng()  # deterministic inputs (ReproConfig.seed)
+    for dtype_name in ("double", "single"):
+        matrix = matrix64.astype(dtype_name)
+        x = gen.standard_normal(matrix.n_cols).astype(matrix.dtype)
+        X = gen.standard_normal((matrix.n_cols, n_rhs)).astype(matrix.dtype)
+        for name in available_backends():
+            backend = get_backend(name)
+            backend.spmv(matrix, x)  # warm-up pass also builds cached handles
+            t_spmv = _time_kernel(lambda: backend.spmv(matrix, x))
+            t_spmm = _time_kernel(lambda: backend.spmm(matrix, X))
+            spmv_times.setdefault(dtype_name, {})[name] = t_spmv
+            for kernel, seconds in (("SpMV", t_spmv), ("SpMM", t_spmm)):
+                entries.append(
+                    {
+                        "benchmark": "backend_comparison",
+                        "backend": name,
+                        "matrix": matrix.name,
+                        "kernel": kernel,
+                        "dtype": dtype_name,
+                        "calls": 1,
+                        "wall_seconds": seconds,
+                        "n_rows": matrix.n_rows,
+                        "nnz": matrix.nnz,
+                        "n_rhs": n_rhs if kernel == "SpMM" else 1,
+                    }
+                )
+            print(
+                f"[backends] {matrix.name} {dtype_name} {name}: "
+                f"SpMV {t_spmv * 1e3:.2f} ms, SpMM({n_rhs}) {t_spmm * 1e3:.2f} ms",
+                flush=True,
+            )
+    summary: Dict[str, object] = {"grid": grid, "n_rhs": n_rhs}
+    for dtype_name, times in spmv_times.items():
+        if "numpy" in times and "scipy" in times and times["scipy"] > 0:
+            summary[f"spmv_speedup_scipy_over_numpy_{dtype_name}"] = (
+                times["numpy"] / times["scipy"]
+            )
+    path = write_bench_json("backends", entries, summary=summary, out=out)
+    print(f"[backends] wrote {path}")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="repro benchmark harness CLI")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the scaled-down fig1/fig5 smoke benchmark (BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="run the kernel-backend comparison (BENCH_backends.json)",
+    )
+    parser.add_argument(
+        "--grid", type=int, default=64, help="Laplace3D grid for --backends"
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="override the output path"
+    )
+    args = parser.parse_args(argv)
+    if not (args.smoke or args.backends):
+        parser.error("choose at least one of --smoke / --backends")
+    if args.smoke:
+        run_smoke(out=args.out)
+    if args.backends:
+        run_backend_comparison(args.grid, out=None if args.smoke else args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

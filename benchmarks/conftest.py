@@ -14,11 +14,24 @@ from __future__ import annotations
 
 import pathlib
 
+import numpy as np
 import pytest
 
+from repro.config import rng as shared_rng
 from repro.experiments import ExperimentConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(name="rng")
+def rng_fixture() -> np.random.Generator:
+    """Shared deterministic generator for stochastic benchmark inputs.
+
+    Delegates to the canonical :func:`repro.config.rng` helper (seeded
+    from ``ReproConfig.seed``), the same one the test suite and the
+    harness CLI use, so CI benchmark runs are reproducible.
+    """
+    return shared_rng()
 
 
 @pytest.fixture(scope="session")

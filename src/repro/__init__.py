@@ -37,12 +37,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import config, precision, perfmodel, sparse, linalg, matrices, ortho
+from . import config, precision, perfmodel, backends, sparse, linalg, matrices, ortho
 from . import preconditioners, solvers, analysis, experiments
+from .backends import KernelBackend, available_backends, get_backend, register_backend
 from .config import ReproConfig, get_config, set_config
 from .precision import HALF, SINGLE, DOUBLE, Precision, as_precision
 from .sparse import CsrMatrix
-from .linalg import MultiVector, use_device
+from .linalg import MultiVector, use_device, use_backend
 from .perfmodel import KernelTimer, use_timer, DeviceSpec, get_device
 from .solvers import (
     SolveResult,
@@ -69,6 +70,7 @@ __all__ = [
     "config",
     "precision",
     "perfmodel",
+    "backends",
     "sparse",
     "linalg",
     "matrices",
@@ -81,6 +83,12 @@ __all__ = [
     "ReproConfig",
     "get_config",
     "set_config",
+    # backends
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "use_backend",
     "Precision",
     "as_precision",
     "HALF",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..solvers.result import SolveResult
-from .breakdown import KernelBreakdown, breakdown_from_result
+from .breakdown import breakdown_from_result
 
 __all__ = ["SpeedupRow", "SpeedupTable", "speedup_table"]
 

@@ -1,0 +1,106 @@
+"""The kernel-backend protocol.
+
+A :class:`KernelBackend` supplies the raw computational primitives that the
+instrumented layer (:mod:`repro.linalg.kernels`) dispatches to.  The split
+of responsibilities is deliberate:
+
+* the **backend** executes arithmetic — nothing else.  Its sparse methods
+  take a :class:`~repro.sparse.csr.CsrMatrix` (any object exposing
+  ``data``/``indices``/``indptr``/``shape`` and a ``backend_cache`` dict
+  works) and dense NumPy arrays, and return NumPy arrays;
+* the **instrumented layer** keeps the precision discipline
+  (same-dtype enforcement), performance-model metering and timer
+  bookkeeping, so every backend is metered identically.
+
+Backends must preserve the *working-precision accumulation semantics* the
+paper relies on: an fp32 SpMV accumulates in fp32 (the stagnation of the
+fp32 inner solver around 1e-5…1e-6 relative residual is part of what the
+paper studies).  Backends that cannot honour that for a dtype (e.g. SciPy
+has no fp16 sparse kernels) must fall back to the NumPy reference for it
+rather than silently upcasting.
+
+Future accelerator backends (Numba, CuPy, ...) plug in by subclassing
+:class:`KernelBackend` and registering a factory with
+:func:`repro.backends.register_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sparse.csr import CsrMatrix
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """Abstract set of computational kernels behind the instrumented layer.
+
+    Attributes
+    ----------
+    name:
+        Registry key of the backend (``"numpy"``, ``"scipy"``, ...).
+    """
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # sparse kernels                                                     #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def spmv(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """CSR matrix–vector product ``y = A x``."""
+
+    @abc.abstractmethod
+    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
+        """CSR transpose product ``y = A^T x``."""
+
+    @abc.abstractmethod
+    def spmm(
+        self,
+        matrix: "CsrMatrix",
+        X: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched multi-RHS product ``Y = A X`` for a dense block ``X``
+        of shape ``(n_cols, k)``."""
+
+    # ------------------------------------------------------------------ #
+    # dense block (orthogonalization) kernels                            #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def gemv_transpose(self, V: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k)."""
+
+    @abc.abstractmethod
+    def gemv_notrans(
+        self, V: np.ndarray, h: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """``w -= V h`` in place on ``w``; returns ``w``."""
+
+    # ------------------------------------------------------------------ #
+    # vector kernels                                                     #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Dot product accumulated in the operand dtype."""
+
+    @abc.abstractmethod
+    def norm2(self, x: np.ndarray) -> float:
+        """Euclidean norm accumulated in the operand dtype."""
+
+    @abc.abstractmethod
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``y += alpha x`` in place; returns ``y``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,184 @@
+"""Pure-NumPy reference backend.
+
+The raw CSR kernels here are the library's numerical ground truth (moved
+from :mod:`repro.sparse.ops`, which still re-exports them): vectorised
+NumPy with no per-row Python loops, following the HPC-Python guidance —
+``np.add.reduceat`` for the row sums of the SpMV/SpMM and
+``np.bincount``/fancy indexing for scatter operations.
+
+Accumulation precision note: ``np.add.reduceat`` accumulates in the dtype
+of its operand, so an fp32 SpMV really is computed in fp32 — important,
+because the numerical behaviour of the fp32 inner solver (stagnation around
+1e-5…1e-6 relative residual) is part of what the paper studies.  This is
+why the reference lives here and faster backends are validated against it
+(see ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .base import KernelBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sparse.csr import CsrMatrix
+
+__all__ = ["spmv", "spmv_transpose", "spmm", "NumpyBackend"]
+
+
+def spmv(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """CSR sparse matrix–vector product ``y = A x``.
+
+    Parameters
+    ----------
+    data, indices, indptr:
+        CSR arrays of ``A`` (``n_rows + 1 = len(indptr)``).
+    x:
+        Dense vector of length ``n_cols``; it is used in the matrix's value
+        dtype (mixed inputs are multiplied under NumPy promotion rules, so
+        callers who care about the working precision must pass matching
+        dtypes — the instrumented kernels enforce this).
+    out:
+        Optional pre-allocated output vector of length ``n_rows``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``y`` with dtype equal to the product dtype.
+    """
+    n_rows = indptr.size - 1
+    products = data * x[indices]
+    if out is None:
+        out = np.zeros(n_rows, dtype=products.dtype)
+    else:
+        if out.shape[0] != n_rows:
+            raise ValueError("output vector has wrong length")
+        out[:] = 0
+    if products.size == 0:
+        return out
+    starts = indptr[:-1]
+    nonempty = np.diff(indptr) > 0
+    # Reduce only over the starts of non-empty rows: consecutive non-empty
+    # starts delimit exactly the nonzeros of the earlier row (empty rows in
+    # between contribute nothing), every start is < len(products), and the
+    # final segment runs to the end of the product array.
+    sums = np.add.reduceat(products, starts[nonempty])
+    out[nonempty] = sums
+    return out
+
+
+def spmv_transpose(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    x: np.ndarray,
+    n_cols: int,
+) -> np.ndarray:
+    """CSR transpose product ``y = A.T x``.
+
+    Not used inside GMRES (which never needs ``A^T``), provided for
+    completeness and for building normal-equation style diagnostics.  The
+    scatter-add accumulates in float64 (``np.bincount`` limitation) and the
+    result is cast back to the product dtype.
+    """
+    n_rows = indptr.size - 1
+    if x.shape[0] != n_rows:
+        raise ValueError("x must have length n_rows for the transpose product")
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+    weights = data * x[rows]
+    y = np.bincount(indices, weights=weights, minlength=n_cols)
+    return y.astype(weights.dtype, copy=False)
+
+
+def spmm(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    X: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched CSR product ``Y = A X`` against a dense block ``X`` (n × k).
+
+    The multi-RHS analogue of :func:`spmv`: one gather of the ``k``-wide
+    rows of ``X`` followed by one segmented ``np.add.reduceat`` along the
+    nonzero axis, so all ``k`` right-hand sides share a single pass over
+    the matrix.  Accumulation happens in the product dtype, matching the
+    single-vector kernel.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError("spmm expects a 2-D block of column vectors")
+    n_rows = indptr.size - 1
+    k = X.shape[1]
+    products = data[:, None] * X[indices, :]
+    if out is None:
+        out = np.zeros((n_rows, k), dtype=products.dtype)
+    else:
+        if out.shape != (n_rows, k):
+            raise ValueError("output block has wrong shape")
+        out[:] = 0
+    if products.size == 0:
+        return out
+    starts = indptr[:-1]
+    nonempty = np.diff(indptr) > 0
+    sums = np.add.reduceat(products, starts[nonempty], axis=0)
+    out[nonempty, :] = sums
+    return out
+
+
+class NumpyBackend(KernelBackend):
+    """Reference backend: every kernel is the vectorised NumPy ground truth."""
+
+    name = "numpy"
+
+    # -------------------------------- sparse -------------------------- #
+    def spmv(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return spmv(matrix.data, matrix.indices, matrix.indptr, x, out=out)
+
+    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
+        return spmv_transpose(
+            matrix.data, matrix.indices, matrix.indptr, x, matrix.shape[1]
+        )
+
+    def spmm(
+        self,
+        matrix: "CsrMatrix",
+        X: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return spmm(matrix.data, matrix.indices, matrix.indptr, X, out=out)
+
+    # -------------------------------- dense --------------------------- #
+    def gemv_transpose(self, V: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return V.T @ w
+
+    def gemv_notrans(
+        self, V: np.ndarray, h: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        w -= V @ h
+        return w
+
+    # -------------------------------- vector -------------------------- #
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.dot(x, y))
+
+    def norm2(self, x: np.ndarray) -> float:
+        # Accumulate in the working dtype (np.dot keeps the dtype), then sqrt.
+        return float(np.sqrt(np.dot(x, x)))
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y += x.dtype.type(alpha) * x
+        return y

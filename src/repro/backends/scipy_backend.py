@@ -1,0 +1,119 @@
+"""SciPy fast-path backend.
+
+Dispatches the sparse kernels (SpMV / SpMV^T / SpMM) to the compiled CSR
+routines in :mod:`scipy.sparse`, which are several times faster than the
+``np.add.reduceat`` reference on the matrices the paper studies (the
+backend-comparison benchmark records the measured ratio in
+``BENCH_backends.json``).  Dense and vector kernels are inherited from the
+NumPy reference — for tall-skinny GEMV, dot and axpy, NumPy already calls
+the same BLAS SciPy would.
+
+Two semantic guard rails keep the numerics interchangeable with the
+reference backend:
+
+* **fp16 falls back to NumPy.**  SciPy's sparse kernels have no float16
+  path and silently upcast the product to float32; the reference kernels
+  accumulate genuinely in fp16, and the half-precision experiments need
+  exactly that behaviour.
+* **fp32/fp64 accumulate in the value dtype** in SciPy's compiled CSR
+  loops, matching the reference semantics (and the templated Belos/Tpetra
+  stack of the paper).
+
+Known deviation: for ``spmv_transpose`` in fp32, the *reference* is the
+one that accumulates wide (``np.bincount`` only sums in float64, then
+casts back — noted in its docstring), while SciPy accumulates genuinely
+in fp32.  The transpose product is a diagnostics-only kernel (GMRES never
+needs ``A^T``), the divergence is bounded by fp32 round-off, and the
+parity tests pin it to dtype-appropriate tolerance.
+
+The SciPy view of a matrix is built once per :class:`CsrMatrix` and cached
+in the matrix's ``backend_cache`` (the arrays are shared, not copied), so
+repeated products inside a solver pay no conversion cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sparse.csr import CsrMatrix
+
+__all__ = ["ScipyBackend"]
+
+_CACHE_KEY = "scipy_csr"
+
+
+class ScipyBackend(NumpyBackend):
+    """SciPy-accelerated sparse kernels over the NumPy reference backend."""
+
+    name = "scipy"
+
+    @staticmethod
+    def _handle(matrix: "CsrMatrix"):
+        """The cached ``scipy.sparse.csr_matrix`` view of ``matrix``.
+
+        The cache entry pairs the handle with the ``data`` array it was
+        built from, so a matrix whose ``data`` attribute is swapped out
+        gets a fresh handle (matrices are otherwise treated as immutable).
+        """
+        cache = getattr(matrix, "backend_cache", None)
+        if cache is not None:
+            entry = cache.get(_CACHE_KEY)
+            if entry is not None and entry[0] is matrix.data:
+                return entry[1]
+        import scipy.sparse as sp
+
+        handle = sp.csr_matrix(
+            (matrix.data, matrix.indices, matrix.indptr),
+            shape=matrix.shape,
+            copy=False,
+        )
+        if cache is not None:
+            cache[_CACHE_KEY] = (matrix.data, handle)
+        return handle
+
+    def spmv(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if matrix.data.dtype == np.float16:
+            return super().spmv(matrix, x, out=out)
+        y = self._handle(matrix) @ x
+        if out is None:
+            return y
+        if out.shape != y.shape:
+            raise ValueError("output vector has wrong length")
+        out[:] = y
+        return out
+
+    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
+        if matrix.data.dtype == np.float16:
+            return super().spmv_transpose(matrix, x)
+        if x.shape[0] != matrix.shape[0]:
+            raise ValueError("x must have length n_rows for the transpose product")
+        return self._handle(matrix).T @ x
+
+    def spmm(
+        self,
+        matrix: "CsrMatrix",
+        X: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValueError("spmm expects a 2-D block of column vectors")
+        if matrix.data.dtype == np.float16:
+            return super().spmm(matrix, X, out=out)
+        Y = self._handle(matrix) @ X
+        if out is None:
+            return Y
+        if out.shape != Y.shape:
+            raise ValueError("output block has wrong shape")
+        out[:] = Y
+        return out

@@ -14,10 +14,18 @@ The paper's experimental setup (Section V) is encoded here as defaults:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["ReproConfig", "get_config", "set_config", "default_config"]
+import numpy as np
+
+__all__ = ["ReproConfig", "get_config", "set_config", "default_config", "rng"]
+
+
+def _default_backend() -> str:
+    """Backend name from the ``REPRO_BACKEND`` environment variable."""
+    return os.environ.get("REPRO_BACKEND", "numpy").strip().lower() or "numpy"
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,10 @@ class ReproConfig:
     meter_kernels:
         If False, kernels skip performance-model accounting entirely
         (useful for the pure-numerics tests, which run slightly faster).
+    backend:
+        Name of the kernel backend the execution context dispatches to
+        (see :mod:`repro.backends`).  Defaults to the ``REPRO_BACKEND``
+        environment variable, falling back to the NumPy reference.
     """
 
     rtol: float = 1e-10
@@ -50,6 +62,7 @@ class ReproConfig:
     device_name: str = "v100"
     seed: int = 20210516  # arXiv submission date of the paper
     meter_kernels: bool = True
+    backend: str = field(default_factory=_default_backend)
 
 
 _DEFAULT = ReproConfig()
@@ -76,3 +89,14 @@ def set_config(config: Optional[ReproConfig] = None, **overrides) -> ReproConfig
     base = config if config is not None else _CURRENT
     _CURRENT = replace(base, **overrides) if overrides else base
     return _CURRENT
+
+
+def rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Deterministic random generator for tests, benchmarks and generators.
+
+    Seeded from the active configuration (:attr:`ReproConfig.seed`) unless
+    an explicit seed is given — every stochastic input in the repo routes
+    through here so CI runs are reproducible bit-for-bit.
+    """
+    cfg = get_config()
+    return np.random.default_rng(cfg.seed if seed is None else int(seed))

@@ -21,7 +21,7 @@ as a parameter so the Laplace3D variant can be run too.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..matrices import laplace3d, stretched2d
 from ..preconditioners import GmresPolynomialPreconditioner

@@ -16,16 +16,23 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
+from ..backends import KernelBackend, get_backend
 from ..config import get_config
 from ..perfmodel.cache import CacheConfig
 from ..perfmodel.costs import KernelCostModel
 from ..perfmodel.device import DeviceSpec, get_device
 
-__all__ = ["ExecutionContext", "get_context", "set_context", "use_device"]
+__all__ = [
+    "ExecutionContext",
+    "get_context",
+    "set_context",
+    "use_device",
+    "use_backend",
+]
 
 
 class ExecutionContext:
-    """Holds the cost model and metering switch used by the kernels.
+    """Holds the backend, cost model and metering switch used by the kernels.
 
     Parameters
     ----------
@@ -36,6 +43,14 @@ class ExecutionContext:
         If False, kernels skip all performance accounting.
     cache_config:
         Calibration of the SpMV L2 reuse model.
+    backend:
+        :class:`~repro.backends.KernelBackend` instance or registered name.
+        When omitted, the backend is resolved *lazily* from the library
+        config on every access (``ReproConfig.backend``, seeded from the
+        ``REPRO_BACKEND`` environment variable), so a later
+        ``set_config(backend=...)`` takes effect without rebuilding the
+        context.  Passing an explicit backend pins it for this context's
+        lifetime (this is what :func:`use_backend` does).
     """
 
     def __init__(
@@ -44,6 +59,8 @@ class ExecutionContext:
         *,
         meter: Optional[bool] = None,
         cache_config: Optional[CacheConfig] = None,
+        backend: Union[str, KernelBackend, None] = None,
+        cost_model: Optional[KernelCostModel] = None,
     ) -> None:
         cfg = get_config()
         if device is None:
@@ -52,10 +69,29 @@ class ExecutionContext:
             device = get_device(device)
         self.device = device
         self.meter = cfg.meter_kernels if meter is None else bool(meter)
-        self.cost_model = KernelCostModel(device, cache_config=cache_config)
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else KernelCostModel(device, cache_config=cache_config)
+        )
+        self._backend = None if backend is None else get_backend(backend)
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this context dispatches to.
+
+        Pinned if one was passed to the constructor, otherwise looked up
+        from the active library config on each access.
+        """
+        if self._backend is not None:
+            return self._backend
+        return get_backend(None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ExecutionContext device={self.device.name!r} meter={self.meter}>"
+        return (
+            f"<ExecutionContext device={self.device.name!r} "
+            f"backend={self.backend.name!r} meter={self.meter}>"
+        )
 
 
 _CONTEXT: Optional[ExecutionContext] = None
@@ -83,11 +119,44 @@ def use_device(
     meter: Optional[bool] = None,
     cache_config: Optional[CacheConfig] = None,
 ) -> Iterator[ExecutionContext]:
-    """Temporarily switch the modelled device (context manager)."""
+    """Temporarily switch the modelled device (context manager).
+
+    The kernel backend of the enclosing context is preserved, including
+    its pinned-vs-config-lazy state.
+    """
     global _CONTEXT
     previous = _CONTEXT
-    _CONTEXT = ExecutionContext(device, meter=meter, cache_config=cache_config)
+    _CONTEXT = ExecutionContext(
+        device,
+        meter=meter,
+        cache_config=cache_config,
+        backend=previous._backend if previous is not None else None,
+    )
     try:
         yield _CONTEXT
+    finally:
+        _CONTEXT = previous
+
+
+@contextmanager
+def use_backend(
+    backend: Union[str, KernelBackend],
+) -> Iterator[ExecutionContext]:
+    """Temporarily switch the kernel backend (context manager).
+
+    Device, metering flag and cost model of the enclosing context are kept;
+    only the dispatch target changes.
+    """
+    global _CONTEXT
+    previous = get_context()
+    context = ExecutionContext(
+        previous.device,
+        meter=previous.meter,
+        backend=backend,
+        cost_model=previous.cost_model,
+    )
+    _CONTEXT = context
+    try:
+        yield context
     finally:
         _CONTEXT = previous

@@ -25,6 +25,11 @@ operands raises — exactly the restriction the Belos/Tpetra stack imposes
 the same scalar type").  Cross-precision data movement must go through
 :func:`cast`, which is metered separately, mirroring how the paper counts
 the casting overhead of mixed-precision preconditioning.
+
+Backend dispatch: the arithmetic itself is executed by the *active*
+:class:`~repro.backends.KernelBackend` (``ctx.backend``), so the same
+metering, labels and precision checks apply whether the kernels run on the
+NumPy reference or the SciPy fast path (or any backend registered later).
 """
 
 from __future__ import annotations
@@ -38,11 +43,11 @@ from ..perfmodel.costs import CostEstimate
 from ..perfmodel.timer import active_timers
 from ..precision import as_precision
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import spmv as _raw_spmv
 from .context import get_context
 
 __all__ = [
     "spmv",
+    "spmm",
     "gemv_transpose",
     "gemv_notrans",
     "dot",
@@ -102,7 +107,7 @@ def spmv(
     _check_same_dtype(matrix.data, x)
     ctx = get_context()
     start = time.perf_counter()
-    y = _raw_spmv(matrix.data, matrix.indices, matrix.indptr, x, out=out)
+    y = ctx.backend.spmv(matrix, x, out=out)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.spmv(
@@ -116,6 +121,40 @@ def spmv(
     return y
 
 
+def spmm(
+    matrix: CsrMatrix,
+    X: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "SpMM",
+) -> np.ndarray:
+    """Metered batched multi-RHS product ``Y = A X`` (``X`` is n × k).
+
+    The batched kernel reads the matrix once for all ``k`` right-hand
+    sides, which is why block solvers favour it; the modelled cost
+    reflects that (see :meth:`KernelCostModel.spmm`).  Shape validation
+    (``X`` must be 2-D) lives in the backends, which every path funnels
+    through.
+    """
+    X = np.asarray(X)
+    _check_same_dtype(matrix.data, X)
+    ctx = get_context()
+    start = time.perf_counter()
+    Y = ctx.backend.spmm(matrix, X, out=out)
+    wall = time.perf_counter() - start
+    if ctx.meter:
+        cost = ctx.cost_model.spmm(
+            matrix.n_rows,
+            matrix.n_cols,
+            matrix.nnz,
+            X.shape[1],
+            matrix.dtype.itemsize,
+            matrix.bandwidth(),
+        )
+        _record(label, matrix.dtype, cost, wall)
+    return Y
+
+
 # ---------------------------------------------------------------------- #
 # dense block (orthogonalization) kernels                                #
 # ---------------------------------------------------------------------- #
@@ -126,7 +165,7 @@ def gemv_transpose(V: np.ndarray, w: np.ndarray, *, label: str = "GEMV (Trans)")
     dtype = _check_same_dtype(V, w)
     ctx = get_context()
     start = time.perf_counter()
-    h = V.T @ w
+    h = ctx.backend.gemv_transpose(V, w)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=True)
@@ -147,7 +186,7 @@ def gemv_notrans(
     dtype = _check_same_dtype(V, h, np.asarray(w))
     ctx = get_context()
     start = time.perf_counter()
-    w -= V @ h
+    w = ctx.backend.gemv_notrans(V, h, w)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=False)
@@ -165,7 +204,7 @@ def dot(x: np.ndarray, y: np.ndarray, *, label: str = "Norm") -> float:
     dtype = _check_same_dtype(x, y)
     ctx = get_context()
     start = time.perf_counter()
-    value = float(np.dot(x, y))
+    value = ctx.backend.dot(x, y)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.dot(x.size, dtype.itemsize)
@@ -184,8 +223,8 @@ def norm2(x: np.ndarray, *, label: str = "Norm") -> float:
     dtype = x.dtype
     ctx = get_context()
     start = time.perf_counter()
-    # Accumulate in the working dtype (np.dot keeps the dtype), then sqrt.
-    value = float(np.sqrt(np.dot(x, x)))
+    # Accumulation happens in the working dtype (backend contract).
+    value = ctx.backend.norm2(x)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.norm2(x.size, dtype.itemsize)
@@ -199,7 +238,7 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray, *, label: str = "axpy") -> 
     dtype = _check_same_dtype(x, np.asarray(y))
     ctx = get_context()
     start = time.perf_counter()
-    y += dtype.type(alpha) * x
+    y = ctx.backend.axpy(alpha, x, y)
     wall = time.perf_counter() - start
     if ctx.meter:
         cost = ctx.cost_model.axpy(x.size, dtype.itemsize)

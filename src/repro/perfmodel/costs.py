@@ -169,6 +169,34 @@ class KernelCostModel:
         )
         return CostEstimate(seconds=seconds, bytes=traffic.total, flops=2.0 * nnz)
 
+    def spmm(
+        self,
+        n_rows: int,
+        n_cols: int,
+        nnz: int,
+        k: int,
+        value_bytes: int,
+        matrix_bandwidth: Optional[int] = None,
+    ) -> CostEstimate:
+        """Batched multi-RHS CSR product ``Y = A X`` with ``k`` columns.
+
+        The point of batching is that the matrix (values + indices + row
+        pointers) streams through memory once for all ``k`` right-hand
+        sides; only the ``x``-gather and ``y``-write traffic scales with
+        ``k``.  Modelled accordingly: the single-RHS SpMV cost plus
+        ``k - 1`` extra vector streams at SpMV efficiency.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        single = self.spmv(n_rows, n_cols, nnz, value_bytes, matrix_bandwidth)
+        extra_bytes = (k - 1) * float(n_rows + n_cols) * value_bytes
+        seconds = single.seconds + self._stream_time("spmv", extra_bytes, value_bytes)
+        return CostEstimate(
+            seconds=seconds,
+            bytes=single.bytes + extra_bytes,
+            flops=2.0 * nnz * k,
+        )
+
     def gemv(
         self, n_rows: int, n_cols: int, value_bytes: int, *, trans: bool
     ) -> CostEstimate:

@@ -10,7 +10,6 @@ curves across preconditioning choices.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

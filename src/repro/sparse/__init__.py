@@ -10,7 +10,7 @@ experiment harness rely on.
 """
 
 from .csr import CsrMatrix
-from .ops import spmv, spmv_transpose, coo_to_csr, extract_block_diagonal
+from .ops import spmv, spmv_transpose, spmm, coo_to_csr, extract_block_diagonal
 from .ordering import reverse_cuthill_mckee, pseudo_peripheral_node, permute_symmetric
 from .properties import (
     bandwidth,
@@ -26,6 +26,7 @@ __all__ = [
     "CsrMatrix",
     "spmv",
     "spmv_transpose",
+    "spmm",
     "coo_to_csr",
     "extract_block_diagonal",
     "reverse_cuthill_mckee",

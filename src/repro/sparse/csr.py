@@ -46,7 +46,15 @@ class CsrMatrix:
         in hot paths that construct matrices from already-validated pieces.
     """
 
-    __slots__ = ("data", "indices", "indptr", "shape", "name", "_bandwidth")
+    __slots__ = (
+        "data",
+        "indices",
+        "indptr",
+        "shape",
+        "name",
+        "_bandwidth",
+        "backend_cache",
+    )
 
     def __init__(
         self,
@@ -66,6 +74,9 @@ class CsrMatrix:
         self.shape = (int(shape[0]), int(shape[1]))
         self.name = name
         self._bandwidth: Optional[int] = None
+        # Per-matrix scratch for backend-specific views of the CSR arrays
+        # (e.g. the scipy.sparse handle); see repro.backends.
+        self.backend_cache: dict = {}
         if check:
             self._validate()
 
@@ -194,21 +205,30 @@ class CsrMatrix:
     # arithmetic                                                         #
     # ------------------------------------------------------------------ #
     def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Unmetered matrix–vector product ``A @ x`` (see also linalg.kernels)."""
-        from .ops import spmv
+        """Unmetered matrix–vector product ``A @ x`` on the active backend.
 
-        return spmv(self.data, self.indices, self.indptr, np.asarray(x), out=out)
+        The metered wrapper lives in :mod:`repro.linalg.kernels`; both
+        dispatch through :func:`repro.backends.active_backend`.
+        """
+        from ..backends import active_backend
+
+        return active_backend().spmv(self, np.asarray(x), out=out)
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """Unmetered transpose product ``A.T @ x``."""
-        from .ops import spmv_transpose
+        """Unmetered transpose product ``A.T @ x`` on the active backend."""
+        from ..backends import active_backend
 
-        return spmv_transpose(
-            self.data, self.indices, self.indptr, np.asarray(x), self.n_cols
-        )
+        return active_backend().spmv_transpose(self, np.asarray(x))
+
+    def matmat(self, X: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Unmetered batched multi-RHS product ``A @ X`` (``X`` is n × k)."""
+        from ..backends import active_backend
+
+        return active_backend().spmm(self, np.asarray(X), out=out)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
-        return self.matvec(x)
+        x = np.asarray(x)
+        return self.matmat(x) if x.ndim == 2 else self.matvec(x)
 
     # ------------------------------------------------------------------ #
     # conversion                                                         #

@@ -1,95 +1,34 @@
-"""Vectorised NumPy kernels on raw CSR arrays.
+"""Vectorised NumPy operations on raw CSR arrays.
 
-These are the unmetered computational primitives; the instrumented,
-performance-model-aware wrappers live in :mod:`repro.linalg.kernels`.
-Everything here is written with vectorised NumPy (no per-row Python loops)
-following the HPC-Python guidance: ``np.add.reduceat`` for the row sums of
-the SpMV, ``np.bincount``/fancy indexing for scatter operations, and
-``np.lexsort`` for the COO→CSR conversion.
+The unmetered computational primitives (``spmv``, ``spmv_transpose`` and
+the batched multi-RHS ``spmm``) live in
+:mod:`repro.backends.numpy_backend` — they are the reference
+implementation of the pluggable kernel-backend protocol — and are
+re-exported here unchanged for callers that work on raw CSR arrays.  The
+instrumented, performance-model-aware wrappers live in
+:mod:`repro.linalg.kernels` and dispatch through the *active* backend
+(see :mod:`repro.backends`), as does :meth:`repro.sparse.csr.CsrMatrix.matvec`.
 
-Accumulation precision note: ``np.add.reduceat`` accumulates in the dtype
-of its operand, so an fp32 SpMV really is computed in fp32 — important,
-because the numerical behaviour of the fp32 inner solver (stagnation around
-1e-5…1e-6 relative residual) is part of what the paper studies.
+This module keeps the structural (non-kernel) CSR utilities: the COO→CSR
+conversion (``np.lexsort`` + segmented sums) and block-diagonal extraction
+used by the block-Jacobi preconditioner.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-__all__ = ["spmv", "spmv_transpose", "coo_to_csr", "extract_block_diagonal"]
+from ..backends.numpy_backend import spmm, spmv, spmv_transpose
 
-
-def spmv(
-    data: np.ndarray,
-    indices: np.ndarray,
-    indptr: np.ndarray,
-    x: np.ndarray,
-    out: Optional[np.ndarray] = None,
-) -> np.ndarray:
-    """CSR sparse matrix–vector product ``y = A x``.
-
-    Parameters
-    ----------
-    data, indices, indptr:
-        CSR arrays of ``A`` (``n_rows + 1 = len(indptr)``).
-    x:
-        Dense vector of length ``n_cols``; it is used in the matrix's value
-        dtype (mixed inputs are multiplied under NumPy promotion rules, so
-        callers who care about the working precision must pass matching
-        dtypes — the instrumented kernels enforce this).
-    out:
-        Optional pre-allocated output vector of length ``n_rows``.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``y`` with dtype equal to the product dtype.
-    """
-    n_rows = indptr.size - 1
-    products = data * x[indices]
-    if out is None:
-        out = np.zeros(n_rows, dtype=products.dtype)
-    else:
-        if out.shape[0] != n_rows:
-            raise ValueError("output vector has wrong length")
-        out[:] = 0
-    if products.size == 0:
-        return out
-    starts = indptr[:-1]
-    nonempty = np.diff(indptr) > 0
-    # Reduce only over the starts of non-empty rows: consecutive non-empty
-    # starts delimit exactly the nonzeros of the earlier row (empty rows in
-    # between contribute nothing), every start is < len(products), and the
-    # final segment runs to the end of the product array.
-    sums = np.add.reduceat(products, starts[nonempty])
-    out[nonempty] = sums
-    return out
-
-
-def spmv_transpose(
-    data: np.ndarray,
-    indices: np.ndarray,
-    indptr: np.ndarray,
-    x: np.ndarray,
-    n_cols: int,
-) -> np.ndarray:
-    """CSR transpose product ``y = A.T x``.
-
-    Not used inside GMRES (which never needs ``A^T``), provided for
-    completeness and for building normal-equation style diagnostics.  The
-    scatter-add accumulates in float64 (``np.bincount`` limitation) and the
-    result is cast back to the product dtype.
-    """
-    n_rows = indptr.size - 1
-    if x.shape[0] != n_rows:
-        raise ValueError("x must have length n_rows for the transpose product")
-    rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
-    weights = data * x[rows]
-    y = np.bincount(indices, weights=weights, minlength=n_cols)
-    return y.astype(weights.dtype, copy=False)
+__all__ = [
+    "spmv",
+    "spmv_transpose",
+    "spmm",
+    "coo_to_csr",
+    "extract_block_diagonal",
+]
 
 
 def coo_to_csr(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import ReproConfig, set_config
+from repro.config import ReproConfig, rng as make_rng, set_config
 from repro.linalg.context import ExecutionContext, set_context
 from repro.matrices import bentpipe2d, laplace2d, laplace3d, stretched2d, uniflow2d
 from repro.sparse import CsrMatrix, from_scipy
@@ -28,7 +28,8 @@ def _reset_global_state():
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(1234)
+    """Shared deterministic generator (see :func:`repro.config.rng`)."""
+    return make_rng(1234)
 
 
 @pytest.fixture
@@ -74,7 +75,7 @@ def random_sparse(rng) -> CsrMatrix:
 
     n = 80
     density = 0.05
-    a = sp.random(n, n, density=density, random_state=np.random.RandomState(7), format="csr")
+    a = sp.random(n, n, density=density, random_state=make_rng(7), format="csr")
     a = a + sp.identity(n, format="csr") * (abs(a).sum(axis=1).max() + 1.0)
     return from_scipy(a.tocsr(), name="random80")
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import ones_rhs
 from repro.analysis import (
     BREAKDOWN_ORDER,
     breakdown_from_result,

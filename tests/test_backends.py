@@ -1,0 +1,271 @@
+"""Backend parity and dispatch tests.
+
+The NumPy reference backend is the numerical ground truth; every other
+backend must agree with it to a dtype-appropriate tolerance on the kernels
+the solvers actually use (SpMV, SpMM, SpMV^T, GEMV, dot/norm/axpy),
+including the structural edge cases (empty rows, zero-nnz matrices) where
+segmented reductions are easy to get wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    KernelBackend,
+    NumpyBackend,
+    ScipyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.config import rng, set_config
+from repro.linalg import get_context, kernels, use_backend
+from repro.linalg.context import ExecutionContext, set_context
+from repro.perfmodel import KernelTimer, use_timer
+from repro.sparse import CsrMatrix
+
+DTYPES = [np.float16, np.float32, np.float64]
+#: Parity tolerance vs the reference: generous multiples of machine epsilon
+#: to absorb different (but same-precision) accumulation orders.
+RTOL = {np.float16: 1e-2, np.float32: 1e-5, np.float64: 1e-12}
+
+NUMPY = NumpyBackend()
+SCIPY = ScipyBackend()
+
+
+def random_csr(n_rows, n_cols, density, dtype, seed=0):
+    """Random CSR matrix with duplicates merged, in the requested dtype."""
+    gen = rng(seed)
+    nnz = max(1, int(density * n_rows * n_cols))
+    rows = gen.integers(0, n_rows, size=nnz)
+    cols = gen.integers(0, n_cols, size=nnz)
+    values = gen.standard_normal(nnz)
+    return CsrMatrix.from_coo(rows, cols, values, (n_rows, n_cols)).astype(
+        np.dtype(dtype).name
+    )
+
+
+def empty_row_csr(dtype):
+    """5×4 matrix whose rows 0, 2 and 4 are empty."""
+    data = np.array([2.0, -1.0, 3.5], dtype=dtype)
+    indices = np.array([1, 3, 0], dtype=np.int32)
+    indptr = np.array([0, 0, 2, 2, 3, 3], dtype=np.int64)
+    return CsrMatrix(data, indices, indptr, (5, 4), name="empty-rows")
+
+
+def zero_nnz_csr(dtype):
+    return CsrMatrix(
+        np.zeros(0, dtype=dtype),
+        np.zeros(0, dtype=np.int32),
+        np.zeros(7, dtype=np.int64),
+        (6, 3),
+        name="zero-nnz",
+    )
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=["fp16", "fp32", "fp64"])
+class TestBackendParity:
+    def test_spmv_matches_reference(self, dtype):
+        A = random_csr(60, 40, 0.1, dtype, seed=1)
+        x = rng(2).standard_normal(40).astype(dtype)
+        ref = NUMPY.spmv(A, x)
+        fast = SCIPY.spmv(A, x)
+        assert fast.dtype == ref.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(fast, ref, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    def test_spmv_out_parameter(self, dtype):
+        A = random_csr(30, 30, 0.15, dtype, seed=3)
+        x = rng(4).standard_normal(30).astype(dtype)
+        out_np = np.full(30, np.nan, dtype=dtype)
+        out_sp = np.full(30, np.nan, dtype=dtype)
+        y_np = NUMPY.spmv(A, x, out=out_np)
+        y_sp = SCIPY.spmv(A, x, out=out_sp)
+        assert y_np is out_np and y_sp is out_sp
+        np.testing.assert_allclose(out_sp, out_np, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    def test_spmm_matches_reference(self, dtype):
+        A = random_csr(50, 35, 0.12, dtype, seed=5)
+        X = rng(6).standard_normal((35, 4)).astype(dtype)
+        ref = NUMPY.spmm(A, X)
+        fast = SCIPY.spmm(A, X)
+        assert ref.shape == fast.shape == (50, 4)
+        assert fast.dtype == ref.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(fast, ref, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    def test_spmm_columns_match_spmv(self, dtype):
+        A = random_csr(40, 40, 0.1, dtype, seed=7)
+        X = rng(8).standard_normal((40, 3)).astype(dtype)
+        for backend in (NUMPY, SCIPY):
+            Y = backend.spmm(A, X)
+            for j in range(X.shape[1]):
+                np.testing.assert_allclose(
+                    Y[:, j],
+                    backend.spmv(A, np.ascontiguousarray(X[:, j])),
+                    rtol=RTOL[dtype],
+                    atol=RTOL[dtype],
+                )
+
+    def test_spmv_transpose_matches_reference(self, dtype):
+        A = random_csr(45, 25, 0.1, dtype, seed=9)
+        x = rng(10).standard_normal(45).astype(dtype)
+        ref = NUMPY.spmv_transpose(A, x)
+        fast = SCIPY.spmv_transpose(A, x)
+        assert ref.shape == fast.shape == (25,)
+        np.testing.assert_allclose(fast, ref, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    def test_gemv_matches_reference(self, dtype):
+        gen = rng(11)
+        V = np.asfortranarray(gen.standard_normal((50, 6)).astype(dtype))
+        w = gen.standard_normal(50).astype(dtype)
+        np.testing.assert_allclose(
+            SCIPY.gemv_transpose(V, w),
+            NUMPY.gemv_transpose(V, w),
+            rtol=RTOL[dtype],
+            atol=RTOL[dtype],
+        )
+        h = gen.standard_normal(6).astype(dtype)
+        w_np, w_sp = w.copy(), w.copy()
+        NUMPY.gemv_notrans(V, h, w_np)
+        SCIPY.gemv_notrans(V, h, w_sp)
+        np.testing.assert_allclose(w_sp, w_np, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    def test_empty_rows(self, dtype):
+        A = empty_row_csr(dtype)
+        x = np.arange(1, 5, dtype=dtype)
+        ref = NUMPY.spmv(A, x)
+        fast = SCIPY.spmv(A, x)
+        assert ref[0] == ref[2] == ref[4] == 0
+        np.testing.assert_allclose(fast, ref, rtol=RTOL[dtype], atol=RTOL[dtype])
+        X = np.stack([x, -x], axis=1)
+        np.testing.assert_allclose(
+            SCIPY.spmm(A, X), NUMPY.spmm(A, X), rtol=RTOL[dtype], atol=RTOL[dtype]
+        )
+
+    def test_zero_nnz(self, dtype):
+        A = zero_nnz_csr(dtype)
+        x = np.ones(3, dtype=dtype)
+        for backend in (NUMPY, SCIPY):
+            assert np.all(backend.spmv(A, x) == 0)
+            assert np.all(backend.spmm(A, np.ones((3, 2), dtype=dtype)) == 0)
+            assert np.all(backend.spmv_transpose(A, np.ones(6, dtype=dtype)) == 0)
+
+    def test_vector_kernels_match(self, dtype):
+        gen = rng(12)
+        x = gen.standard_normal(64).astype(dtype)
+        y = gen.standard_normal(64).astype(dtype)
+        assert SCIPY.dot(x, y) == pytest.approx(NUMPY.dot(x, y), rel=RTOL[dtype])
+        assert SCIPY.norm2(x) == pytest.approx(NUMPY.norm2(x), rel=RTOL[dtype])
+        y_np, y_sp = y.copy(), y.copy()
+        NUMPY.axpy(0.5, x, y_np)
+        SCIPY.axpy(0.5, x, y_sp)
+        np.testing.assert_allclose(y_sp, y_np, rtol=RTOL[dtype], atol=RTOL[dtype])
+
+
+class TestFp16Semantics:
+    """SciPy has no fp16 sparse kernels; the backend must fall back, not upcast."""
+
+    def test_fp16_spmv_stays_fp16(self):
+        A = random_csr(30, 30, 0.2, np.float16, seed=13)
+        x = np.ones(30, dtype=np.float16)
+        y = SCIPY.spmv(A, x)
+        assert y.dtype == np.float16
+        np.testing.assert_array_equal(y, NUMPY.spmv(A, x))
+
+    def test_fp16_accumulation_matches_reference_bitwise(self):
+        # The fallback is the reference kernel itself, so even rounding is
+        # identical — the half-precision experiments rely on this.
+        A = random_csr(64, 64, 0.1, np.float16, seed=14)
+        X = rng(15).standard_normal((64, 5)).astype(np.float16)
+        np.testing.assert_array_equal(SCIPY.spmm(A, X), NUMPY.spmm(A, X))
+
+
+class TestDispatch:
+    def test_registry_lists_builtin_backends(self):
+        assert {"numpy", "scipy"} <= set(available_backends())
+
+    def test_get_backend_resolves_names_and_instances(self):
+        assert get_backend("numpy") is get_backend("NumPy")  # case-insensitive
+        instance = ScipyBackend()
+        assert get_backend(instance) is instance
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda-imaginary")
+
+    def test_register_backend_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_config_selects_backend(self):
+        set_config(backend="scipy")
+        assert get_context().backend.name == "scipy"
+
+    def test_set_config_takes_effect_on_live_context(self):
+        # The README flow: solve once (materialising the lazy global
+        # context), then switch backends via set_config — the existing
+        # context must follow the config, not stay pinned.
+        A = random_csr(8, 8, 0.4, np.float64, seed=18)
+        A.matvec(np.ones(8))
+        before = get_context()
+        set_config(backend="scipy")
+        assert get_context() is before
+        assert get_context().backend.name == "scipy"
+        set_config(backend="numpy")
+        assert get_context().backend.name == "numpy"
+
+    def test_explicit_context_backend_stays_pinned(self):
+        set_context(ExecutionContext(backend="scipy"))
+        set_config(backend="numpy")
+        assert get_context().backend.name == "scipy"
+
+    def test_use_backend_scopes_the_switch(self):
+        outer = get_context().backend.name
+        other = "scipy" if outer == "numpy" else "numpy"
+        with use_backend(other) as ctx:
+            assert ctx.backend.name == other
+            assert get_context() is ctx
+        assert get_context().backend.name == outer
+
+    def test_matvec_routes_through_active_backend(self):
+        calls = []
+
+        class Probe(NumpyBackend):
+            name = "probe"
+
+            def spmv(self, matrix, x, out=None):
+                calls.append(matrix.name)
+                return super().spmv(matrix, x, out=out)
+
+        A = random_csr(10, 10, 0.3, np.float64, seed=16)
+        with use_backend(Probe()):
+            A.matvec(np.ones(10))
+            kernels.spmv(A, np.ones(10))
+        assert len(calls) == 2
+
+    def test_scipy_handle_is_cached_per_matrix(self):
+        A = random_csr(20, 20, 0.2, np.float64, seed=17)
+        x = np.ones(20)
+        SCIPY.spmv(A, x)
+        _, handle = A.backend_cache["scipy_csr"]
+        SCIPY.spmv(A, x)
+        assert A.backend_cache["scipy_csr"][1] is handle
+        # A precision copy is a different matrix object with its own cache.
+        A32 = A.astype("single")
+        SCIPY.spmv(A32, np.ones(20, dtype=np.float32))
+        assert A32.backend_cache["scipy_csr"][1] is not handle
+        assert A32.backend_cache["scipy_csr"][1].dtype == np.float32
+
+    def test_metered_kernels_agree_across_backends(self, laplace_small):
+        b = np.ones(laplace_small.n_rows)
+        with use_timer(KernelTimer("np")) as t_np:
+            y_np = kernels.spmv(laplace_small, b)
+        with use_backend("scipy"):
+            with use_timer(KernelTimer("sp")) as t_sp:
+                y_sp = kernels.spmv(laplace_small, b)
+        np.testing.assert_allclose(y_sp, y_np, rtol=1e-12)
+        # Metering is backend-independent: identical modelled cost.
+        assert t_sp.total_model_seconds() == pytest.approx(t_np.total_model_seconds())
+
+    def test_backend_protocol_is_abstract(self):
+        with pytest.raises(TypeError):
+            KernelBackend()  # abstract methods missing

@@ -1,8 +1,9 @@
 """Tests for repro.config."""
 
+import numpy as np
 import pytest
 
-from repro.config import ReproConfig, default_config, get_config, set_config
+from repro.config import ReproConfig, default_config, get_config, rng, set_config
 
 
 class TestDefaults:
@@ -12,6 +13,9 @@ class TestDefaults:
         assert cfg.restart == 50
         assert cfg.device_name == "v100"
         assert cfg.meter_kernels is True
+        # The backend default honours REPRO_BACKEND, so only its shape is
+        # asserted here (the env-var behaviour has its own tests below).
+        assert cfg.backend == cfg.backend.strip().lower() != ""
 
     def test_default_is_frozen(self):
         cfg = default_config()
@@ -44,3 +48,35 @@ class TestSetConfig:
         # The autouse fixture restores defaults; this test relies on the
         # previous tests having mutated the config.
         assert get_config().restart == 50
+
+
+class TestBackendSelection:
+    def test_env_var_sets_default_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "SciPy")
+        assert ReproConfig().backend == "scipy"  # normalised to lower case
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert ReproConfig().backend == "numpy"
+
+    def test_set_config_overrides_backend(self):
+        set_config(backend="scipy")
+        assert get_config().backend == "scipy"
+
+
+class TestRngHelper:
+    def test_default_seed_comes_from_config(self):
+        a = rng().standard_normal(8)
+        b = rng().standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+        expected = np.random.default_rng(get_config().seed).standard_normal(8)
+        np.testing.assert_array_equal(a, expected)
+
+    def test_explicit_seed_wins(self):
+        np.testing.assert_array_equal(
+            rng(7).standard_normal(4), np.random.default_rng(7).standard_normal(4)
+        )
+
+    def test_tracks_config_seed(self):
+        set_config(seed=99)
+        np.testing.assert_array_equal(
+            rng().standard_normal(4), np.random.default_rng(99).standard_normal(4)
+        )

@@ -47,6 +47,42 @@ class TestSpmvKernel:
         assert timer.model_seconds_for("SpMV", "single") > 0
 
 
+class TestSpmmKernel:
+    def test_correctness(self, laplace_small, rng):
+        X = rng.standard_normal((laplace_small.n_cols, 4))
+        np.testing.assert_allclose(
+            kernels.spmm(laplace_small, X), dense(laplace_small) @ X
+        )
+
+    def test_records_under_spmm_label(self, laplace_small):
+        with use_timer(name="t") as timer:
+            kernels.spmm(laplace_small, np.ones((laplace_small.n_cols, 3)))
+        assert timer.calls_by_label() == {"SpMM": 1}
+        assert timer.model_seconds_for("SpMM") > 0
+
+    def test_batched_cost_beats_k_spmv_calls(self, laplace_small):
+        k = 6
+        X = np.ones((laplace_small.n_cols, k))
+        with use_timer(name="batched") as batched:
+            kernels.spmm(laplace_small, X)
+        with use_timer(name="seq") as seq:
+            for j in range(k):
+                kernels.spmv(laplace_small, X[:, j].copy())
+        # The batched kernel streams the matrix once; k SpMVs stream it k
+        # times, so the modelled cost must favour batching.
+        assert batched.total_model_seconds() < seq.total_model_seconds()
+
+    def test_precision_mismatch_raises(self, laplace_small):
+        with pytest.raises(kernels.PrecisionMismatchError):
+            kernels.spmm(
+                laplace_small, np.ones((laplace_small.n_cols, 2), dtype=np.float32)
+            )
+
+    def test_rejects_1d_input(self, laplace_small):
+        with pytest.raises(ValueError):
+            kernels.spmm(laplace_small, np.ones(laplace_small.n_cols))
+
+
 class TestGemvKernels:
     def test_transpose_correctness(self, rng):
         V = rng.standard_normal((50, 6))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.linalg.context import ExecutionContext, set_context
+from repro.linalg.context import set_context
 from repro.perfmodel.timer import use_timer
 from repro.preconditioners import (
     BlockJacobiPreconditioner,

@@ -1,7 +1,6 @@
 """Tests for SciPy/precision conversions."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.perfmodel.timer import use_timer

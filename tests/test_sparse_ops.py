@@ -1,18 +1,18 @@
-"""Tests for the raw CSR kernels (spmv, coo→csr, block-diagonal extraction)."""
+"""Tests for the raw CSR kernels (spmv/spmm, coo→csr, block-diagonal extraction)."""
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
-from repro.sparse.ops import coo_to_csr, extract_block_diagonal, spmv, spmv_transpose
+from repro.config import rng
+from repro.sparse.ops import coo_to_csr, extract_block_diagonal, spmm, spmv, spmv_transpose
 
 
 def random_scipy(n_rows, n_cols, density, seed):
     return sp.random(
-        n_rows, n_cols, density=density, random_state=np.random.RandomState(seed), format="csr"
+        n_rows, n_cols, density=density, random_state=rng(seed), format="csr"
     )
 
 
@@ -20,7 +20,7 @@ class TestSpmv:
     def test_matches_scipy_on_random_matrices(self):
         for seed in range(5):
             A = random_scipy(60, 40, 0.1, seed)
-            x = np.random.default_rng(seed).standard_normal(40)
+            x = rng(seed).standard_normal(40)
             y = spmv(A.data, A.indices, A.indptr, x)
             np.testing.assert_allclose(y, A @ x, rtol=1e-13)
 
@@ -63,15 +63,59 @@ class TestSpmv:
     @settings(max_examples=40, deadline=None)
     def test_property_matches_scipy(self, n, m, seed, density):
         A = random_scipy(n, m, density, seed)
-        x = np.random.default_rng(seed).standard_normal(m)
+        x = rng(seed).standard_normal(m)
         y = spmv(A.data, A.indices, A.indptr, x)
         np.testing.assert_allclose(y, A @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestSpmm:
+    def test_matches_scipy_on_random_matrices(self):
+        for seed in range(3):
+            A = random_scipy(40, 30, 0.12, seed)
+            X = rng(seed).standard_normal((30, 5))
+            Y = spmm(A.data, A.indices, A.indptr, X)
+            np.testing.assert_allclose(Y, A @ X, rtol=1e-12)
+
+    def test_columns_match_spmv(self):
+        A = random_scipy(35, 35, 0.1, 7)
+        X = rng(7).standard_normal((35, 4))
+        Y = spmm(A.data, A.indices, A.indptr, X)
+        for j in range(4):
+            np.testing.assert_allclose(
+                Y[:, j], spmv(A.data, A.indices, A.indptr, X[:, j].copy()), rtol=1e-13
+            )
+
+    def test_empty_rows_and_empty_matrix(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 0.0], [0.0, 3.0]]))
+        X = np.array([[1.0, -1.0], [1.0, 2.0]])
+        Y = spmm(A.data, A.indices, A.indptr, X)
+        np.testing.assert_allclose(Y, A @ X)
+        empty = sp.csr_matrix((4, 2))
+        np.testing.assert_allclose(
+            spmm(empty.data, empty.indices, empty.indptr, X), np.zeros((4, 2))
+        )
+
+    def test_preserves_fp32_dtype(self):
+        A = random_scipy(20, 20, 0.2, 1).astype(np.float32)
+        X = np.ones((20, 3), dtype=np.float32)
+        assert spmm(A.data, A.indices, A.indptr, X).dtype == np.float32
+
+    def test_out_parameter_and_validation(self):
+        A = random_scipy(15, 15, 0.25, 2)
+        X = np.ones((15, 2))
+        out = np.empty((15, 2))
+        Y = spmm(A.data, A.indices, A.indptr, X, out=out)
+        assert Y is out
+        with pytest.raises(ValueError):
+            spmm(A.data, A.indices, A.indptr, X, out=np.empty((15, 3)))
+        with pytest.raises(ValueError):
+            spmm(A.data, A.indices, A.indptr, np.ones(15))
 
 
 class TestSpmvTranspose:
     def test_matches_scipy(self):
         A = random_scipy(25, 35, 0.15, 3)
-        x = np.random.default_rng(3).standard_normal(25)
+        x = rng(3).standard_normal(25)
         y = spmv_transpose(A.data, A.indices, A.indptr, x, 35)
         np.testing.assert_allclose(y, A.T @ x, rtol=1e-12)
 
@@ -123,10 +167,10 @@ class TestCooToCsr:
     )
     @settings(max_examples=40, deadline=None)
     def test_property_matches_scipy_coo(self, n, nnz, seed):
-        rng = np.random.default_rng(seed)
-        rows = rng.integers(0, n, size=nnz)
-        cols = rng.integers(0, n, size=nnz)
-        vals = rng.standard_normal(nnz)
+        gen = rng(seed)
+        rows = gen.integers(0, n, size=nnz)
+        cols = gen.integers(0, n, size=nnz)
+        vals = gen.standard_normal(nnz)
         data, indices, indptr = coo_to_csr(rows, cols, vals, (n, n))
         ours = sp.csr_matrix((data, indices, indptr), shape=(n, n)).toarray()
         ref = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).toarray()

@@ -5,6 +5,7 @@ import pytest
 import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
+from repro.config import rng
 from repro.sparse import (
     CsrMatrix,
     from_scipy,
@@ -16,7 +17,7 @@ from tests.conftest import dense
 
 
 def random_symmetric(n, density, seed):
-    a = sp.random(n, n, density=density, random_state=np.random.RandomState(seed), format="csr")
+    a = sp.random(n, n, density=density, random_state=rng(seed), format="csr")
     a = a + a.T + sp.identity(n) * 2.0
     return from_scipy(a.tocsr(), name=f"sym{n}")
 
