@@ -13,7 +13,14 @@ the machine-readable benchmark output used by CI:
   (the CI smoke-benchmark job uploads it as an artifact);
 * ``python benchmarks/_harness.py --backends`` times the registered kernel
   backends against each other on the 64³ Laplace3D SpMV/SpMM and emits
-  ``BENCH_backends.json`` including the measured speedups.
+  ``BENCH_backends.json`` including the measured speedups;
+* ``python benchmarks/_harness.py --solve`` times the *end-to-end* metered
+  and unmetered GMRES(50) fp64 solve on the smoke matrices for every
+  registered backend and emits ``BENCH_solve.json`` — the solver-level perf
+  trajectory.  The summary block records the pre-PR per-iteration baseline
+  (measured before the allocation-free hot path landed) and the speedup
+  against it; ``benchmarks/check_solve_regression.py`` diffs a fresh run
+  against the committed file in CI.
 """
 
 from __future__ import annotations
@@ -219,6 +226,101 @@ def run_backend_comparison(
     return path
 
 
+#: Per-iteration wall time (µs) of the unmetered smoke GMRES(50) fp64 solve
+#: measured at commit 88ece0e (the last commit *before* the allocation-free
+#: hot path landed) on the machine that recorded the committed
+#: ``BENCH_solve.json``; best of 21 runs interleaved with the post-change
+#: measurements to cancel machine drift.  Keyed ``"<backend>/<matrix>"``.
+#: These numbers are only comparable to measurements from that same
+#: committed file — the CI regression check compares fresh runs against the
+#: committed wall times with a tolerance band instead.
+PRE_PR_BASELINE_US: Dict[str, float] = {
+    "numpy/Laplace3D24": 1216.7,
+    "numpy/UniFlow2D64": 285.8,
+    "scipy/Laplace3D24": 652.6,
+    "scipy/UniFlow2D64": 179.6,
+}
+
+#: The acceptance-gate configuration: the library-default NumPy reference
+#: backend on the larger smoke matrix must beat the pre-PR baseline by this
+#: factor (checked against the committed JSON by check_solve_regression.py).
+SOLVE_GATE = {"backend": "numpy", "matrix": "Laplace3D24", "min_speedup": 1.25}
+
+
+def run_solve(out: Optional[pathlib.Path] = None, *, repeats: int = 3) -> pathlib.Path:
+    """End-to-end GMRES(50) solve benchmark → BENCH_solve.json.
+
+    For every registered backend and smoke matrix, runs the fp64 GMRES(50)
+    solve twice over: *unmetered* (``meter=False`` — the metering fast path,
+    raw backend speed) and *metered* (timers active, cost model charged).
+    Records best-of-``repeats`` wall seconds and wall µs/iteration.
+    Iteration counts are deterministic (bit-identical numerics across the
+    out= refactor), so the CI diff can require them to match exactly.
+    """
+    import numpy as np
+
+    from repro.backends import available_backends
+    from repro.linalg.context import ExecutionContext, set_context
+    from repro.matrices import laplace3d, uniflow2d
+    from repro.solvers.gmres import gmres
+
+    solve_kwargs = dict(restart=50, tol=1e-8, max_restarts=4, fp64_check=False)
+    matrices = [("Laplace3D24", laplace3d(24)), ("UniFlow2D64", uniflow2d(64))]
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    try:
+        for backend in available_backends():
+            for label, matrix in matrices:
+                b = np.ones(matrix.n_rows)
+                for mode in ("unmetered", "metered"):
+                    set_context(ExecutionContext(meter=(mode == "metered"), backend=backend))
+                    result = gmres(matrix, b, **solve_kwargs)  # warm-up
+                    best = float("inf")
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        result = gmres(matrix, b, **solve_kwargs)
+                        best = min(best, time.perf_counter() - start)
+                    per_iter_us = best / result.iterations * 1e6
+                    entries.append(
+                        {
+                            "benchmark": "solve",
+                            "backend": backend,
+                            "matrix": label,
+                            "solver": "gmres(50)",
+                            "dtype": "double",
+                            "mode": mode,
+                            "status": str(result.status),
+                            "iterations": result.iterations,
+                            "wall_seconds": best,
+                            "wall_per_iteration_us": per_iter_us,
+                        }
+                    )
+                    if mode == "unmetered":
+                        key = f"{backend}/{label}"
+                        baseline = PRE_PR_BASELINE_US.get(key)
+                        if baseline:
+                            speedups[key] = baseline / per_iter_us
+                    print(
+                        f"[solve] {backend} {label} {mode}: "
+                        f"{result.iterations} iters, {per_iter_us:.1f} us/iter",
+                        flush=True,
+                    )
+    finally:
+        set_context(ExecutionContext())
+    summary: Dict[str, object] = {
+        "solver": "gmres(50)",
+        "dtype": "double",
+        "tolerance": solve_kwargs["tol"],
+        "repeats": repeats,
+        "gate": SOLVE_GATE,
+        "pre_pr_baseline_us": dict(PRE_PR_BASELINE_US),
+        "unmetered_speedup_vs_pre_pr": speedups,
+    }
+    path = write_bench_json("solve", entries, summary=summary, out=out)
+    print(f"[solve] wrote {path}")
+    return path
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="repro benchmark harness CLI")
     parser.add_argument(
@@ -232,18 +334,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the kernel-backend comparison (BENCH_backends.json)",
     )
     parser.add_argument(
+        "--solve",
+        action="store_true",
+        help="run the end-to-end GMRES(50) solve benchmark (BENCH_solve.json)",
+    )
+    parser.add_argument(
         "--grid", type=int, default=64, help="Laplace3D grid for --backends"
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=None, help="override the output path"
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="override the output path (only valid with exactly one mode)",
     )
     args = parser.parse_args(argv)
-    if not (args.smoke or args.backends):
-        parser.error("choose at least one of --smoke / --backends")
+    modes = [args.smoke, args.backends, args.solve]
+    if not any(modes):
+        parser.error("choose at least one of --smoke / --backends / --solve")
+    if args.out is not None and sum(modes) > 1:
+        parser.error("--out is ambiguous with more than one mode")
     if args.smoke:
         run_smoke(out=args.out)
     if args.backends:
-        run_backend_comparison(args.grid, out=None if args.smoke else args.out)
+        run_backend_comparison(args.grid, out=args.out)
+    if args.solve:
+        run_solve(out=args.out)
     return 0
 
 

@@ -1,0 +1,135 @@
+"""Diff a fresh ``BENCH_solve.json`` against the committed baseline.
+
+CI runs ``python benchmarks/_harness.py --solve --out <fresh>`` and then::
+
+    python benchmarks/check_solve_regression.py \
+        --fresh <fresh> --committed benchmarks/results/BENCH_solve.json
+
+Three checks, from machine-independent to machine-dependent:
+
+1. **Coverage** — the fresh run produced every (backend, matrix, mode) row
+   the committed baseline has (a silently dropped configuration would make
+   the perf trajectory lie by omission).
+2. **Determinism** — iteration counts match the committed ones to within
+   ``--max-iteration-drift`` (default 2).  The ``out=`` paths are
+   bit-identical to the allocating paths *on one machine*, but BLAS
+   dot/GEMV reductions differ in the last ulp across CPU
+   microarchitectures, which can move a convergence check by an iteration;
+   anything beyond that is a numerics regression, not noise.
+3. **Wall time** — the fresh unmetered per-iteration wall time is within
+   ``--tolerance``× of the committed number (both directions; default 4×).
+   CI hardware differs from the machine that recorded the baseline, so the
+   band is wide — it catches order-of-magnitude regressions (an accidental
+   per-iteration allocation or a lost fast path), not percent-level drift.
+
+It also re-asserts the committed acceptance gate: the committed summary
+must show the unmetered speedup vs the pre-PR baseline at or above the
+recorded ``gate.min_speedup`` for the gate configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Tuple
+
+
+def _rows(payload: dict) -> Dict[Tuple[str, str, str], dict]:
+    return {
+        (e["backend"], e["matrix"], e["mode"]): e
+        for e in payload["entries"]
+        if e.get("benchmark") == "solve"
+    }
+
+
+def check(
+    fresh_path: pathlib.Path,
+    committed_path: pathlib.Path,
+    tolerance: float,
+    max_iteration_drift: int = 2,
+) -> int:
+    fresh = json.loads(fresh_path.read_text())
+    committed = json.loads(committed_path.read_text())
+    fresh_rows = _rows(fresh)
+    committed_rows = _rows(committed)
+    failures = []
+
+    missing = sorted(set(committed_rows) - set(fresh_rows))
+    if missing:
+        failures.append(f"fresh run is missing configurations: {missing}")
+
+    for key in sorted(set(committed_rows) & set(fresh_rows)):
+        base, new = committed_rows[key], fresh_rows[key]
+        tag = "/".join(key)
+        if abs(new["iterations"] - base["iterations"]) > max_iteration_drift:
+            failures.append(
+                f"{tag}: iteration count changed "
+                f"{base['iterations']} -> {new['iterations']} "
+                f"(beyond the +-{max_iteration_drift} cross-machine BLAS band: "
+                "numerics regression)"
+            )
+        if key[2] != "unmetered":
+            continue
+        ratio = new["wall_per_iteration_us"] / base["wall_per_iteration_us"]
+        line = (
+            f"{tag}: {base['wall_per_iteration_us']:.1f} -> "
+            f"{new['wall_per_iteration_us']:.1f} us/iter (x{ratio:.2f})"
+        )
+        if ratio > tolerance or ratio < 1.0 / tolerance:
+            failures.append(f"{line} outside the {tolerance}x tolerance band")
+        else:
+            print(f"[solve-gate] OK {line}")
+
+    gate = committed.get("summary", {}).get("gate", {})
+    speedups = committed.get("summary", {}).get("unmetered_speedup_vs_pre_pr", {})
+    if gate:
+        key = f"{gate['backend']}/{gate['matrix']}"
+        speedup = speedups.get(key, 0.0)
+        if speedup < gate["min_speedup"]:
+            failures.append(
+                f"committed baseline no longer meets the acceptance gate: "
+                f"{key} speedup {speedup:.2f} < {gate['min_speedup']}"
+            )
+        else:
+            print(
+                f"[solve-gate] committed gate holds: {key} "
+                f"{speedup:.2f}x >= {gate['min_speedup']}x vs pre-PR"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"[solve-gate] FAIL {failure}", file=sys.stderr)
+        return 1
+    print("[solve-gate] all checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=pathlib.Path, required=True)
+    parser.add_argument(
+        "--committed",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "BENCH_solve.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=4.0,
+        help="allowed wall-time ratio band vs the committed baseline (default 4x)",
+    )
+    parser.add_argument(
+        "--max-iteration-drift",
+        type=int,
+        default=2,
+        help="allowed iteration-count difference vs the committed baseline "
+        "(absorbs last-ulp BLAS differences across CPUs; default 2)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.fresh, args.committed, args.tolerance, args.max_iteration_drift)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

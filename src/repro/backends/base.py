@@ -19,6 +19,15 @@ paper studies).  Backends that cannot honour that for a dtype (e.g. SciPy
 has no fp16 sparse kernels) must fall back to the NumPy reference for it
 rather than silently upcasting.
 
+Buffer-ownership contract (the ``out=``/``work=`` discipline): every kernel
+that produces an array accepts an optional pre-allocated ``out`` buffer and,
+when given one, must write its result *into that buffer and return it* —
+never a freshly allocated array.  ``out`` must not alias any input unless a
+kernel's docstring explicitly allows it.  This is what lets the solvers run
+their steady-state iteration allocation-free, and it is the contract a
+future accelerator backend needs anyway (there, a fresh allocation is a
+device malloc on the critical path).
+
 Future accelerator backends (Numba, CuPy, ...) plug in by subclassing
 :class:`KernelBackend` and registering a factory with
 :func:`repro.backends.register_backend`.
@@ -58,11 +67,19 @@ class KernelBackend(abc.ABC):
         x: np.ndarray,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """CSR matrix–vector product ``y = A x``."""
+        """CSR matrix–vector product ``y = A x``.
+
+        ``out`` must not alias ``x``.
+        """
 
     @abc.abstractmethod
-    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
-        """CSR transpose product ``y = A^T x``."""
+    def spmv_transpose(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """CSR transpose product ``y = A^T x``.  ``out`` must not alias ``x``."""
 
     @abc.abstractmethod
     def spmm(
@@ -72,20 +89,42 @@ class KernelBackend(abc.ABC):
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Batched multi-RHS product ``Y = A X`` for a dense block ``X``
-        of shape ``(n_cols, k)``."""
+        of shape ``(n_cols, k)``.  ``out`` must not alias ``X``."""
 
     # ------------------------------------------------------------------ #
     # dense block (orthogonalization) kernels                            #
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
-    def gemv_transpose(self, V: np.ndarray, w: np.ndarray) -> np.ndarray:
-        """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k)."""
+    def gemv_transpose(
+        self,
+        V: np.ndarray,
+        w: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k).
+
+        ``out``, when given, is the length-``k`` coefficient buffer.
+        """
 
     @abc.abstractmethod
     def gemv_notrans(
-        self, V: np.ndarray, h: np.ndarray, w: np.ndarray
+        self,
+        V: np.ndarray,
+        h: np.ndarray,
+        w: np.ndarray,
+        *,
+        alpha: float = -1.0,
+        work: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """``w -= V h`` in place on ``w``; returns ``w``."""
+        """``w += alpha * (V h)`` in place on ``w``; returns ``w``.
+
+        The default ``alpha=-1`` is the Gram-Schmidt subtraction the paper
+        times as "GEMV (No Trans)"; ``alpha=+1`` with a pre-zeroed ``w``
+        forms the solution update ``V y`` without a negated-coefficient
+        copy.  ``work``, when given, is a length-``n`` scratch vector the
+        backend may use for the intermediate product ``V h`` so the call
+        allocates nothing; it must not alias ``w``.
+        """
 
     # ------------------------------------------------------------------ #
     # vector kernels                                                     #
@@ -96,11 +135,46 @@ class KernelBackend(abc.ABC):
 
     @abc.abstractmethod
     def norm2(self, x: np.ndarray) -> float:
-        """Euclidean norm accumulated in the operand dtype."""
+        """Euclidean norm accumulated in the operand dtype (no intermediate
+        array — the reduction is a single fused dot)."""
 
     @abc.abstractmethod
     def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """``y += alpha x`` in place; returns ``y``."""
+
+    @abc.abstractmethod
+    def scal(self, alpha: float, x: np.ndarray) -> np.ndarray:
+        """``x *= alpha`` in place; returns ``x``."""
+
+    @abc.abstractmethod
+    def copy(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy of ``x`` (into ``out`` when given; returns the copy)."""
+
+    # ------------------------------------------------------------------ #
+    # preconditioner application kernels                                 #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def diag_scale(
+        self,
+        scale: np.ndarray,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Elementwise product ``scale * x`` (point-Jacobi application).
+
+        ``out`` may alias ``x`` (the product is elementwise).
+        """
+
+    @abc.abstractmethod
+    def block_diag_solve(
+        self,
+        inv_blocks: np.ndarray,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply explicit block-diagonal inverses: ``inv_blocks`` has shape
+        ``(n_blocks, k, k)``, ``x`` length ``n_blocks * k``.  ``out`` must
+        not alias ``x``."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -12,6 +12,14 @@ because the numerical behaviour of the fp32 inner solver (stagnation around
 1e-5…1e-6 relative residual) is part of what the paper studies.  This is
 why the reference lives here and faster backends are validated against it
 (see ``tests/test_backends.py``).
+
+Allocation discipline: when a caller supplies ``out=``, the class methods
+run allocation-free.  The SpMV caches its row-geometry arrays and per-dtype
+gather/reduce scratch in the matrix's ``backend_cache`` (keyed on the
+``indptr`` identity, so a structurally different matrix gets a fresh plan),
+and the dense GEMV kernels write through ``np.dot(..., out=...)`` /
+caller-provided ``work`` buffers.  The arithmetic — gather, multiply,
+segmented reduce — is bit-identical to the allocating path.
 """
 
 from __future__ import annotations
@@ -81,13 +89,15 @@ def spmv_transpose(
     indptr: np.ndarray,
     x: np.ndarray,
     n_cols: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """CSR transpose product ``y = A.T x``.
 
     Not used inside GMRES (which never needs ``A^T``), provided for
     completeness and for building normal-equation style diagnostics.  The
     scatter-add accumulates in float64 (``np.bincount`` limitation) and the
-    result is cast back to the product dtype.
+    result is cast back to the product dtype (written into ``out`` when one
+    is given).
     """
     n_rows = indptr.size - 1
     if x.shape[0] != n_rows:
@@ -95,7 +105,12 @@ def spmv_transpose(
     rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
     weights = data * x[rows]
     y = np.bincount(indices, weights=weights, minlength=n_cols)
-    return y.astype(weights.dtype, copy=False)
+    if out is None:
+        return y.astype(weights.dtype, copy=False)
+    if out.shape[0] != n_cols:
+        raise ValueError("output vector has wrong length")
+    np.copyto(out, y, casting="same_kind")
+    return out
 
 
 def spmm(
@@ -134,6 +149,36 @@ def spmm(
     return out
 
 
+_SPMV_PLAN_KEY = "numpy_spmv_plan"
+
+
+def _spmv_plan(matrix: "CsrMatrix") -> Optional[dict]:
+    """Cached row geometry + per-dtype scratch for the ``out=`` SpMV path.
+
+    The plan is keyed on the identity of the matrix's ``indptr`` array
+    (matrices are treated as structurally immutable); ``rows`` is ``None``
+    when every row is non-empty, which skips the zero-fill and the fancy
+    scatter on the hot path.
+    """
+    cache = getattr(matrix, "backend_cache", None)
+    if cache is None:
+        return None
+    plan = cache.get(_SPMV_PLAN_KEY)
+    if plan is None or plan["indptr"] is not matrix.indptr:
+        nonempty = np.diff(matrix.indptr) > 0
+        plan = {
+            "indptr": matrix.indptr,
+            "starts": np.ascontiguousarray(matrix.indptr[:-1][nonempty]),
+            # np.take converts non-intp index arrays on every call; cache the
+            # widened copy once so the hot path gathers without a temporary.
+            "indices": np.ascontiguousarray(matrix.indices, dtype=np.intp),
+            "rows": None if nonempty.all() else np.flatnonzero(nonempty),
+            "scratch": {},
+        }
+        cache[_SPMV_PLAN_KEY] = plan
+    return plan
+
+
 class NumpyBackend(KernelBackend):
     """Reference backend: every kernel is the vectorised NumPy ground truth."""
 
@@ -146,11 +191,64 @@ class NumpyBackend(KernelBackend):
         x: np.ndarray,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        return spmv(matrix.data, matrix.indices, matrix.indptr, x, out=out)
+        plan = None
+        if out is not None and matrix.data.dtype == x.dtype:
+            plan = _spmv_plan(matrix)
+        if plan is None:
+            return spmv(matrix.data, matrix.indices, matrix.indptr, x, out=out)
+        if out.shape[0] != matrix.shape[0]:
+            raise ValueError("output vector has wrong length")
+        if x.shape[0] != matrix.shape[1]:
+            # The clipped gather below would silently fold out-of-range
+            # column indices onto x[-1] instead of raising.
+            raise ValueError("input vector has wrong length")
+        nnz = matrix.data.size
+        if nnz == 0:
+            out[:] = 0
+            return out
+        dtype = x.dtype
+        starts = plan["starts"]
+        rows = plan["rows"]
+        scratch = plan["scratch"]
+        if rows is None:
+            # Every row non-empty: the segmented reduce maps 1:1 onto the
+            # output, so reduceat writes straight into `out` — no sums
+            # buffer, no copy.
+            prod = scratch.get(dtype.str)
+            if prod is None:
+                prod = scratch[dtype.str] = np.empty(nnz, dtype=dtype)
+            sums = out
+        else:
+            bufs = scratch.get(dtype.str)
+            if bufs is None:
+                bufs = scratch[dtype.str] = (
+                    np.empty(nnz, dtype=dtype),
+                    np.empty(starts.size, dtype=dtype),
+                )
+            prod, sums = bufs
+        # Same gather → multiply → segmented-reduce sequence as the module
+        # reference above, so the result is bit-identical; only the
+        # temporaries are reused.
+        # mode="clip" lets np.take write straight into `prod` (the default
+        # "raise" mode gathers into an internal buffer first); CSR column
+        # indices are validated in-range at construction, so clipping never
+        # alters a value.
+        np.take(x, plan["indices"], out=prod, mode="clip")
+        np.multiply(matrix.data, prod, out=prod)
+        np.add.reduceat(prod, starts, out=sums)
+        if rows is not None:
+            out[:] = 0
+            out[rows] = sums
+        return out
 
-    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
+    def spmv_transpose(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         return spmv_transpose(
-            matrix.data, matrix.indices, matrix.indptr, x, matrix.shape[1]
+            matrix.data, matrix.indices, matrix.indptr, x, matrix.shape[1], out=out
         )
 
     def spmm(
@@ -162,13 +260,42 @@ class NumpyBackend(KernelBackend):
         return spmm(matrix.data, matrix.indices, matrix.indptr, X, out=out)
 
     # -------------------------------- dense --------------------------- #
-    def gemv_transpose(self, V: np.ndarray, w: np.ndarray) -> np.ndarray:
-        return V.T @ w
+    def gemv_transpose(
+        self,
+        V: np.ndarray,
+        w: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if out is None:
+            return V.T @ w
+        np.dot(V.T, w, out=out)
+        return out
 
     def gemv_notrans(
-        self, V: np.ndarray, h: np.ndarray, w: np.ndarray
+        self,
+        V: np.ndarray,
+        h: np.ndarray,
+        w: np.ndarray,
+        *,
+        alpha: float = -1.0,
+        work: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        w -= V @ h
+        if work is not None and work.shape == w.shape and work.dtype == w.dtype:
+            np.dot(V, h, out=work)
+            if alpha == -1.0:
+                np.subtract(w, work, out=w)
+            elif alpha == 1.0:
+                np.add(w, work, out=w)
+            else:
+                np.multiply(work, w.dtype.type(alpha), out=work)
+                np.add(w, work, out=w)
+            return w
+        if alpha == -1.0:
+            w -= V @ h
+        elif alpha == 1.0:
+            w += V @ h
+        else:
+            w += w.dtype.type(alpha) * (V @ h)
         return w
 
     # -------------------------------- vector -------------------------- #
@@ -182,3 +309,35 @@ class NumpyBackend(KernelBackend):
     def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         y += x.dtype.type(alpha) * x
         return y
+
+    def scal(self, alpha: float, x: np.ndarray) -> np.ndarray:
+        x *= x.dtype.type(alpha)
+        return x
+
+    def copy(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is None:
+            return x.copy()
+        np.copyto(out, x, casting="same_kind")
+        return out
+
+    # ------------------------- preconditioner apply -------------------- #
+    def diag_scale(
+        self,
+        scale: np.ndarray,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return np.multiply(scale, x, out=out)
+
+    def block_diag_solve(
+        self,
+        inv_blocks: np.ndarray,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_blocks, k, _k2 = inv_blocks.shape
+        x2 = x.reshape(n_blocks, k)
+        if out is None:
+            return np.einsum("bij,bj->bi", inv_blocks, x2).reshape(-1)
+        np.einsum("bij,bj->bi", inv_blocks, x2, out=out.reshape(n_blocks, k))
+        return out

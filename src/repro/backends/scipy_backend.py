@@ -29,6 +29,15 @@ parity tests pin it to dtype-appropriate tolerance.
 The SciPy view of a matrix is built once per :class:`CsrMatrix` and cached
 in the matrix's ``backend_cache`` (the arrays are shared, not copied), so
 repeated products inside a solver pay no conversion cost.
+
+``out=`` path: ``scipy.sparse`` has no public ``out=`` for its products,
+but the compiled kernel it calls internally (``_sparsetools.csr_matvec``)
+accumulates into a caller-provided output vector.  When that private hook
+is importable (it has been stable across SciPy releases for a decade) the
+``out=`` SpMV zeroes the buffer and accumulates in place — the same
+instruction sequence ``handle @ x`` would run, so results are bit-identical
+— and the solver hot path allocates nothing.  Otherwise the backend falls
+back to product-then-copy, which is still correct, just not allocation-free.
 """
 
 from __future__ import annotations
@@ -45,6 +54,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ScipyBackend"]
 
 _CACHE_KEY = "scipy_csr"
+
+try:  # private but long-stable compiled kernels with an output argument
+    from scipy.sparse import _sparsetools as _st
+
+    _CSR_MATVEC = getattr(_st, "csr_matvec", None)
+except Exception:  # pragma: no cover - exotic scipy builds
+    _CSR_MATVEC = None
 
 
 class ScipyBackend(NumpyBackend):
@@ -84,20 +100,48 @@ class ScipyBackend(NumpyBackend):
     ) -> np.ndarray:
         if matrix.data.dtype == np.float16:
             return super().spmv(matrix, x, out=out)
-        y = self._handle(matrix) @ x
+        handle = self._handle(matrix)
+        if out is None:
+            return handle @ x
+        if out.shape != (matrix.shape[0],):
+            raise ValueError("output vector has wrong length")
+        if x.shape[0] != matrix.shape[1]:
+            # csr_matvec is compiled C with no bounds checking; a short x
+            # would be read out of bounds.
+            raise ValueError("input vector has wrong length")
+        if _CSR_MATVEC is not None and x.dtype == handle.data.dtype == out.dtype:
+            # csr_matvec accumulates y += A x, so zero the buffer first.
+            out[:] = 0
+            _CSR_MATVEC(
+                handle.shape[0],
+                handle.shape[1],
+                handle.indptr,
+                handle.indices,
+                handle.data,
+                x,
+                out,
+            )
+            return out
+        out[:] = handle @ x
+        return out
+
+    def spmv_transpose(
+        self,
+        matrix: "CsrMatrix",
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if matrix.data.dtype == np.float16:
+            return super().spmv_transpose(matrix, x, out=out)
+        if x.shape[0] != matrix.shape[0]:
+            raise ValueError("x must have length n_rows for the transpose product")
+        y = self._handle(matrix).T @ x
         if out is None:
             return y
         if out.shape != y.shape:
             raise ValueError("output vector has wrong length")
         out[:] = y
         return out
-
-    def spmv_transpose(self, matrix: "CsrMatrix", x: np.ndarray) -> np.ndarray:
-        if matrix.data.dtype == np.float16:
-            return super().spmv_transpose(matrix, x)
-        if x.shape[0] != matrix.shape[0]:
-            raise ValueError("x must have length n_rows for the transpose product")
-        return self._handle(matrix).T @ x
 
     def spmm(
         self,

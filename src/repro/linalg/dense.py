@@ -132,16 +132,26 @@ class GivensWorkspace:
         """Magnitude of the trailing rotated right-hand-side entry."""
         return float(abs(self.g[self.size]))
 
-    def solve(self) -> np.ndarray:
-        """Solve the triangular system for the Krylov coefficients ``y``."""
+    def solve(self, out: "np.ndarray | None" = None) -> np.ndarray:
+        """Solve the triangular system for the Krylov coefficients ``y``.
+
+        ``out``, when given, is a caller-owned length-``size`` buffer the
+        coefficients are written into (the solver passes its workspace's
+        Hessenberg-column buffer so restarts allocate nothing).
+        """
         j = self.size
-        y = back_substitute(self.R[:j, :j], self.g[:j])
+        y = back_substitute(self.R[:j, :j], self.g[:j], out=out)
         meter_host_dense(j * j)
         return y
 
 
-def back_substitute(R: np.ndarray, b: np.ndarray) -> np.ndarray:
+def back_substitute(
+    R: np.ndarray, b: np.ndarray, out: "np.ndarray | None" = None
+) -> np.ndarray:
     """Solve ``R y = b`` for upper-triangular ``R`` in the dtype of ``R``.
+
+    ``out``, when given, receives the solution (length ``n``, dtype of
+    ``R``; must not alias ``b``).
 
     Raises
     ------
@@ -154,7 +164,12 @@ def back_substitute(R: np.ndarray, b: np.ndarray) -> np.ndarray:
     n = R.shape[0]
     if R.shape != (n, n) or b.shape != (n,):
         raise ValueError("back_substitute expects square R and matching b")
-    y = np.zeros(n, dtype=R.dtype)
+    if out is None:
+        y = np.zeros(n, dtype=R.dtype)
+    else:
+        if out.shape != (n,) or out.dtype != R.dtype:
+            raise ValueError("back_substitute output buffer has wrong shape or dtype")
+        y = out
     for i in range(n - 1, -1, -1):
         diag = R[i, i]
         if diag == 0:

@@ -30,6 +30,35 @@ Backend dispatch: the arithmetic itself is executed by the *active*
 :class:`~repro.backends.KernelBackend` (``ctx.backend``), so the same
 metering, labels and precision checks apply whether the kernels run on the
 NumPy reference or the SciPy fast path (or any backend registered later).
+Every kernel — including ``scal``/``copy``/``diag_scale``/
+``block_diag_solve``, which used to execute inline NumPy here — now routes
+through the backend, so an accelerator backend can take over the whole
+per-iteration kernel sequence.
+
+Metering fast path: when no timer is on the stack or the execution
+context's ``meter`` flag is off, the kernels skip ``perf_counter`` and the
+cost model entirely and run the raw backend call — an unmetered solve pays
+only for arithmetic.  Observable behaviour is unchanged (nothing would
+have been recorded anyway); only the bookkeeping overhead disappears.
+
+Buffer-ownership rules (the ``out=`` contract):
+
+==========================  ===========================================
+parameter                   rule
+==========================  ===========================================
+``out=`` (all kernels)      caller-owned; the kernel writes the result
+                            into it and returns *that* buffer, never a
+                            fresh array.  Must match the result's shape
+                            and (for same-dtype kernels) dtype.
+``out`` vs inputs           must not alias an input unless the kernel
+                            docstring allows it (``diag_scale`` does;
+                            ``spmv``/``gemv_transpose`` do not).
+``work=`` (gemv_notrans)    caller-owned length-``n`` scratch for the
+                            intermediate ``V h`` product; contents are
+                            clobbered; must not alias ``w``.
+omitted ``out``/``work``    the kernel allocates, exactly as before this
+                            contract existed (back-compatible).
+==========================  ===========================================
 """
 
 from __future__ import annotations
@@ -40,7 +69,7 @@ from typing import Optional
 import numpy as np
 
 from ..perfmodel.costs import CostEstimate
-from ..perfmodel.timer import active_timers
+from ..perfmodel.timer import active_timers, timers_active
 from ..precision import as_precision
 from ..sparse.csr import CsrMatrix
 from .context import get_context
@@ -102,22 +131,23 @@ def spmv(
     *,
     label: str = "SpMV",
 ) -> np.ndarray:
-    """Metered CSR matrix–vector product ``y = A x``."""
+    """Metered CSR matrix–vector product ``y = A x`` (``out`` must not alias ``x``)."""
     x = np.asarray(x)
     _check_same_dtype(matrix.data, x)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.spmv(matrix, x, out=out)
     start = time.perf_counter()
     y = ctx.backend.spmv(matrix, x, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.spmv(
-            matrix.n_rows,
-            matrix.n_cols,
-            matrix.nnz,
-            matrix.dtype.itemsize,
-            matrix.bandwidth(),
-        )
-        _record(label, matrix.dtype, cost, wall)
+    cost = ctx.cost_model.spmv(
+        matrix.n_rows,
+        matrix.n_cols,
+        matrix.nnz,
+        matrix.dtype.itemsize,
+        matrix.bandwidth(),
+    )
+    _record(label, matrix.dtype, cost, wall)
     return y
 
 
@@ -139,37 +169,48 @@ def spmm(
     X = np.asarray(X)
     _check_same_dtype(matrix.data, X)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.spmm(matrix, X, out=out)
     start = time.perf_counter()
     Y = ctx.backend.spmm(matrix, X, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.spmm(
-            matrix.n_rows,
-            matrix.n_cols,
-            matrix.nnz,
-            X.shape[1],
-            matrix.dtype.itemsize,
-            matrix.bandwidth(),
-        )
-        _record(label, matrix.dtype, cost, wall)
+    cost = ctx.cost_model.spmm(
+        matrix.n_rows,
+        matrix.n_cols,
+        matrix.nnz,
+        X.shape[1],
+        matrix.dtype.itemsize,
+        matrix.bandwidth(),
+    )
+    _record(label, matrix.dtype, cost, wall)
     return Y
 
 
 # ---------------------------------------------------------------------- #
 # dense block (orthogonalization) kernels                                #
 # ---------------------------------------------------------------------- #
-def gemv_transpose(V: np.ndarray, w: np.ndarray, *, label: str = "GEMV (Trans)") -> np.ndarray:
-    """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k)."""
+def gemv_transpose(
+    V: np.ndarray,
+    w: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "GEMV (Trans)",
+) -> np.ndarray:
+    """``h = V^T w`` for a tall-skinny basis block ``V`` (n × k).
+
+    ``out``, when given, receives the ``k`` coefficients.
+    """
     V = np.asarray(V)
     w = np.asarray(w)
     dtype = _check_same_dtype(V, w)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.gemv_transpose(V, w, out=out)
     start = time.perf_counter()
-    h = ctx.backend.gemv_transpose(V, w)
+    h = ctx.backend.gemv_transpose(V, w, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=True)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=True)
+    _record(label, dtype, cost, wall)
     return h
 
 
@@ -178,19 +219,29 @@ def gemv_notrans(
     h: np.ndarray,
     w: np.ndarray,
     *,
+    alpha: float = -1.0,
+    work: Optional[np.ndarray] = None,
     label: str = "GEMV (No Trans)",
 ) -> np.ndarray:
-    """``w = w - V h`` (in place on ``w``) for a tall-skinny block ``V``."""
+    """``w += alpha * (V h)`` (in place on ``w``) for a tall-skinny block ``V``.
+
+    The default ``alpha=-1`` is the classical Gram-Schmidt subtraction
+    ``w -= V h``; ``alpha=+1`` with a pre-zeroed ``w`` forms the solution
+    update ``V y`` with the sign folded into the kernel (no negated
+    coefficient copy).  ``work`` is optional length-``n`` scratch for the
+    intermediate product (clobbered; must not alias ``w``).
+    """
     V = np.asarray(V)
     h = np.asarray(h)
     dtype = _check_same_dtype(V, h, np.asarray(w))
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.gemv_notrans(V, h, w, alpha=alpha, work=work)
     start = time.perf_counter()
-    w = ctx.backend.gemv_notrans(V, h, w)
+    w = ctx.backend.gemv_notrans(V, h, w, alpha=alpha, work=work)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=False)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.gemv(V.shape[0], V.shape[1], dtype.itemsize, trans=False)
+    _record(label, dtype, cost, wall)
     return w
 
 
@@ -203,12 +254,13 @@ def dot(x: np.ndarray, y: np.ndarray, *, label: str = "Norm") -> float:
     y = np.asarray(y)
     dtype = _check_same_dtype(x, y)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.dot(x, y)
     start = time.perf_counter()
     value = ctx.backend.dot(x, y)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.dot(x.size, dtype.itemsize)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.dot(x.size, dtype.itemsize)
+    _record(label, dtype, cost, wall)
     return value
 
 
@@ -222,13 +274,14 @@ def norm2(x: np.ndarray, *, label: str = "Norm") -> float:
     x = np.asarray(x)
     dtype = x.dtype
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.norm2(x)
     start = time.perf_counter()
     # Accumulation happens in the working dtype (backend contract).
     value = ctx.backend.norm2(x)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.norm2(x.size, dtype.itemsize)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.norm2(x.size, dtype.itemsize)
+    _record(label, dtype, cost, wall)
     return value
 
 
@@ -237,12 +290,13 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray, *, label: str = "axpy") -> 
     x = np.asarray(x)
     dtype = _check_same_dtype(x, np.asarray(y))
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.axpy(alpha, x, y)
     start = time.perf_counter()
     y = ctx.backend.axpy(alpha, x, y)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
+    _record(label, dtype, cost, wall)
     return y
 
 
@@ -250,34 +304,39 @@ def scal(alpha: float, x: np.ndarray, *, label: str = "scal") -> np.ndarray:
     """``x *= alpha`` in place (metered under "Other")."""
     x = np.asarray(x)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.scal(alpha, x)
     start = time.perf_counter()
-    x *= x.dtype.type(alpha)
+    x = ctx.backend.scal(alpha, x)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.scal(x.size, x.dtype.itemsize)
-        _record(label, x.dtype, cost, wall)
+    cost = ctx.cost_model.scal(x.size, x.dtype.itemsize)
+    _record(label, x.dtype, cost, wall)
     return x
 
 
 def copy(x: np.ndarray, out: Optional[np.ndarray] = None, *, label: str = "copy") -> np.ndarray:
     """Metered vector copy (same precision)."""
     x = np.asarray(x)
-    ctx = get_context()
-    start = time.perf_counter()
-    if out is None:
-        result = x.copy()
-    else:
+    if out is not None:
         _check_same_dtype(x, np.asarray(out))
-        out[:] = x
-        result = out
+    ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.copy(x, out=out)
+    start = time.perf_counter()
+    result = ctx.backend.copy(x, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.copy(x.size, x.dtype.itemsize)
-        _record(label, x.dtype, cost, wall)
+    cost = ctx.cost_model.copy(x.size, x.dtype.itemsize)
+    _record(label, x.dtype, cost, wall)
     return result
 
 
-def cast(x: np.ndarray, precision, *, label: str = "cast") -> np.ndarray:
+def cast(
+    x: np.ndarray,
+    precision,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "cast",
+) -> np.ndarray:
     """Convert a vector to another precision (metered under "Other").
 
     This is the explicit precision boundary: GMRES-IR casts the fp64
@@ -285,44 +344,75 @@ def cast(x: np.ndarray, precision, *, label: str = "cast") -> np.ndarray:
     the fp32 correction back up; fp32 preconditioning of an fp64 solver
     casts the vector on every preconditioner application.  The paper counts
     these casts in the reported solve times, so they are metered.
+
+    ``out``, when given, must have the target precision; the conversion is
+    written into it.  When ``x`` already has the target precision the cast
+    is a no-op and ``x`` itself is returned (``out`` is ignored) — a
+    same-precision "cast" is free, exactly as before.
     """
     x = np.asarray(x)
     prec = as_precision(precision)
     if x.dtype == prec.dtype:
         return x
+    if out is not None and out.dtype != prec.dtype:
+        raise PrecisionMismatchError(
+            f"cast output buffer has dtype {out.dtype.name}, expected {prec.dtype.name}"
+        )
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        if out is None:
+            return x.astype(prec.dtype)
+        np.copyto(out, x, casting="unsafe")
+        return out
     start = time.perf_counter()
-    result = x.astype(prec.dtype)
+    if out is None:
+        result = x.astype(prec.dtype)
+    else:
+        np.copyto(out, x, casting="unsafe")
+        result = out
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.cast(x.size, x.dtype.itemsize, prec.bytes)
-        # Record under the *wider* precision so mixed casts are attributed
-        # consistently; they all land in the "Other" bucket anyway.
-        wide = x.dtype if x.dtype.itemsize >= prec.bytes else prec.dtype
-        _record(label, wide, cost, wall)
+    cost = ctx.cost_model.cast(x.size, x.dtype.itemsize, prec.bytes)
+    # Record under the *wider* precision so mixed casts are attributed
+    # consistently; they all land in the "Other" bucket anyway.
+    wide = x.dtype if x.dtype.itemsize >= prec.bytes else prec.dtype
+    _record(label, wide, cost, wall)
     return result
 
 
 # ---------------------------------------------------------------------- #
 # preconditioner application kernels                                     #
 # ---------------------------------------------------------------------- #
-def diag_scale(scale: np.ndarray, x: np.ndarray, *, label: str = "Precond") -> np.ndarray:
-    """Elementwise product ``scale * x`` — the point-Jacobi application."""
+def diag_scale(
+    scale: np.ndarray,
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "Precond",
+) -> np.ndarray:
+    """Elementwise product ``scale * x`` — the point-Jacobi application.
+
+    ``out`` may alias ``x`` (the product is elementwise).
+    """
     scale = np.asarray(scale)
     x = np.asarray(x)
     dtype = _check_same_dtype(scale, x)
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.diag_scale(scale, x, out=out)
     start = time.perf_counter()
-    result = scale * x
+    result = ctx.backend.diag_scale(scale, x, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
-        _record(label, dtype, cost, wall)
+    cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
+    _record(label, dtype, cost, wall)
     return result
 
 
 def block_diag_solve(
-    inv_blocks: np.ndarray, x: np.ndarray, *, label: str = "Precond"
+    inv_blocks: np.ndarray,
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "Precond",
 ) -> np.ndarray:
     """Apply a block-diagonal operator stored as explicit inverse blocks.
 
@@ -330,7 +420,7 @@ def block_diag_solve(
     ``n_blocks * k`` (zero-padded by the caller if needed).  The modelled
     cost treats the operation as a blocked SpMV with ``n_blocks * k * k``
     nonzeros (the block-Jacobi apply is memory bound, like everything else
-    in the solver).
+    in the solver).  ``out`` must not alias ``x``.
     """
     inv_blocks = np.asarray(inv_blocks)
     x = np.asarray(x)
@@ -339,19 +429,20 @@ def block_diag_solve(
     if k != k2 or x.size != n_blocks * k:
         raise ValueError("block_diag_solve: inconsistent block/vector shapes")
     ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.block_diag_solve(inv_blocks, x, out=out)
     start = time.perf_counter()
-    result = np.einsum("bij,bj->bi", inv_blocks, x.reshape(n_blocks, k)).reshape(-1)
+    result = ctx.backend.block_diag_solve(inv_blocks, x, out=out)
     wall = time.perf_counter() - start
-    if ctx.meter:
-        cost = ctx.cost_model.spmv(
-            n_rows=x.size,
-            n_cols=x.size,
-            nnz=n_blocks * k * k,
-            value_bytes=dtype.itemsize,
-            matrix_bandwidth=k,
-        )
-        _record(label, dtype, cost, wall)
-    return result.astype(dtype, copy=False)
+    cost = ctx.cost_model.spmv(
+        n_rows=x.size,
+        n_cols=x.size,
+        nnz=n_blocks * k * k,
+        value_bytes=dtype.itemsize,
+        matrix_bandwidth=k,
+    )
+    _record(label, dtype, cost, wall)
+    return result
 
 
 # ---------------------------------------------------------------------- #
@@ -360,7 +451,7 @@ def block_diag_solve(
 def meter_cast(n: int, from_bytes: int, to_bytes: int, *, label: str = "cast") -> None:
     """Charge the cost of converting ``n`` values without doing it here."""
     ctx = get_context()
-    if not ctx.meter:
+    if not (ctx.meter and timers_active()):
         return
     cost = ctx.cost_model.cast(n, from_bytes, to_bytes)
     dtype = np.dtype(np.float64 if max(from_bytes, to_bytes) >= 8 else np.float32)
@@ -370,7 +461,7 @@ def meter_cast(n: int, from_bytes: int, to_bytes: int, *, label: str = "cast") -
 def meter_host_dense(work_elements: int, *, label: str = "host", wall: float = 0.0) -> None:
     """Charge a small host-side dense operation (Givens sweep etc.)."""
     ctx = get_context()
-    if not ctx.meter:
+    if not (ctx.meter and timers_active()):
         return
     cost = ctx.cost_model.host_dense_op(work_elements)
     _record(label, np.dtype(np.float64), cost, wall)
@@ -379,7 +470,7 @@ def meter_host_dense(work_elements: int, *, label: str = "host", wall: float = 0
 def meter_host_transfer(nbytes: float, *, label: str = "host") -> None:
     """Charge a host↔device transfer of ``nbytes`` bytes."""
     ctx = get_context()
-    if not ctx.meter:
+    if not (ctx.meter and timers_active()):
         return
     cost = ctx.cost_model.host_transfer(nbytes)
     _record(label, np.dtype(np.float64), cost, 0.0)

@@ -37,7 +37,7 @@ class MultiVector:
         Storage precision of the block.
     """
 
-    __slots__ = ("_block", "_count", "precision")
+    __slots__ = ("_block", "_count", "_work", "precision")
 
     def __init__(self, length: int, capacity: int, precision="double") -> None:
         if length < 0 or capacity <= 0:
@@ -45,6 +45,9 @@ class MultiVector:
         prec = as_precision(precision)
         self.precision: Precision = prec
         self._block = np.zeros((length, capacity), dtype=prec.dtype, order="F")
+        # Length-n scratch handed to the GEMV update kernel so the
+        # subtraction/combination passes never allocate an intermediate.
+        self._work = np.empty(length, dtype=prec.dtype)
         self._count = 0
 
     # ------------------------------------------------------------------ #
@@ -114,25 +117,51 @@ class MultiVector:
     # ------------------------------------------------------------------ #
     # metered block operations                                           #
     # ------------------------------------------------------------------ #
-    def project(self, w: np.ndarray, j: Optional[int] = None) -> np.ndarray:
-        """``h = V_j^T w`` against the first ``j`` stored vectors (metered)."""
+    def project(
+        self,
+        w: np.ndarray,
+        j: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``h = V_j^T w`` against the first ``j`` stored vectors (metered).
+
+        ``out``, when given, is the caller-owned length-``j`` coefficient
+        buffer the result is written into.
+        """
         V = self.block(j)
-        return kernels.gemv_transpose(V, w)
+        return kernels.gemv_transpose(V, w, out=out)
 
     def subtract_projection(
         self, w: np.ndarray, h: np.ndarray, j: Optional[int] = None
     ) -> np.ndarray:
-        """``w -= V_j h`` in place (metered)."""
+        """``w -= V_j h`` in place (metered, allocation-free — the
+        intermediate ``V_j h`` lands in this block's scratch vector)."""
         V = self.block(j)
-        return kernels.gemv_notrans(V, h, w)
+        return kernels.gemv_notrans(V, h, w, work=self._work)
 
-    def combine(self, coefficients: np.ndarray, j: Optional[int] = None) -> np.ndarray:
-        """``x = V_j y`` — form the solution update from the Krylov basis (metered)."""
+    def combine(
+        self,
+        coefficients: np.ndarray,
+        j: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``x = V_j y`` — form the solution update from the Krylov basis (metered).
+
+        Writes into ``out`` when given (caller-owned, length ``n``; it is
+        zeroed first and must not alias the scratch or the basis).  The
+        sign is folded into the update kernel (``alpha=+1``), so no negated
+        copy of the coefficients is made.
+        """
         V = self.block(j)
         coefficients = np.asarray(coefficients, dtype=self.dtype)
-        out = np.zeros(self.length, dtype=self.dtype)
-        # w = 0 - V*(-y) via the metered update kernel keeps labels consistent.
-        return kernels.gemv_notrans(V, -coefficients, out)
+        if out is None:
+            out = np.zeros(self.length, dtype=self.dtype)
+        else:
+            if out.shape != (self.length,):
+                raise ValueError("combine output buffer has wrong length")
+            out[:] = 0
+        # out = 0 + V y via the metered update kernel keeps labels consistent.
+        return kernels.gemv_notrans(V, coefficients, out, alpha=1.0, work=self._work)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

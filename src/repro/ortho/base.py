@@ -20,10 +20,39 @@ class OrthogonalizationManager(abc.ABC):
     of the remainder — i.e. Hessenberg column entries ``h_{1..j, j}`` and
     the subdiagonal ``h_{j+1, j}``.  They do **not** normalize ``w``; the
     solver does that so the scaling shows up under its own kernel label.
+
+    Managers own a small set of Hessenberg-column scratch buffers (length =
+    basis capacity) so the steady-state iteration allocates nothing; the
+    returned coefficient vector ``h`` is a view into that scratch and is
+    only valid until the next :meth:`orthogonalize` call — callers (the
+    Givens workspace) copy it immediately.
     """
 
     #: short name used in reports and the ablation benchmark
     name: str = "ortho"
+
+    #: number of capacity-length scratch columns the manager needs
+    _n_scratch_columns: int = 1
+
+    def _column_scratch(self, basis: MultiVector) -> Tuple[np.ndarray, ...]:
+        """Capacity-length scratch columns in the basis dtype.
+
+        (Re)allocated only when the basis capacity or dtype changes — e.g.
+        the same manager instance driving an fp32 inner and an fp64 outer
+        solver — so the per-iteration path is allocation-free.
+        """
+        bufs = getattr(self, "_scratch_columns", None)
+        if (
+            bufs is None
+            or bufs[0].shape[0] < basis.capacity
+            or bufs[0].dtype != basis.dtype
+        ):
+            bufs = tuple(
+                np.empty(basis.capacity, dtype=basis.dtype)
+                for _ in range(self._n_scratch_columns)
+            )
+            self._scratch_columns = bufs
+        return bufs
 
     @abc.abstractmethod
     def orthogonalize(

@@ -30,7 +30,8 @@ class ClassicalGramSchmidt(OrthogonalizationManager):
         j = basis.count
         if j == 0:
             return np.zeros(0, dtype=w.dtype), kernels.norm2(w)
-        h = basis.project(w)
+        (bh,) = self._column_scratch(basis)
+        h = basis.project(w, out=bh[:j])
         basis.subtract_projection(w, h)
         h_next = kernels.norm2(w)
         return h, h_next

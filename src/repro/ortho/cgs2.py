@@ -24,6 +24,7 @@ class ClassicalGramSchmidt2(OrthogonalizationManager):
     """Two passes of classical Gram-Schmidt (CGS2)."""
 
     name = "cgs2"
+    _n_scratch_columns = 3  # first-pass, second-pass and summed coefficients
 
     def orthogonalize(
         self, basis: MultiVector, w: np.ndarray
@@ -31,13 +32,14 @@ class ClassicalGramSchmidt2(OrthogonalizationManager):
         j = basis.count
         if j == 0:
             return np.zeros(0, dtype=w.dtype), kernels.norm2(w)
+        b1, b2, bh = self._column_scratch(basis)
         # First pass.
-        h1 = basis.project(w)
+        h1 = basis.project(w, out=b1[:j])
         basis.subtract_projection(w, h1)
         # Second pass re-orthogonalizes the remainder.
-        h2 = basis.project(w)
+        h2 = basis.project(w, out=b2[:j])
         basis.subtract_projection(w, h2)
-        h = h1 + h2
+        h = np.add(h1, h2, out=bh[:j])
         h_next = kernels.norm2(w)
         return h, h_next
 

@@ -29,7 +29,10 @@ class ModifiedGramSchmidt(OrthogonalizationManager):
         self, basis: MultiVector, w: np.ndarray
     ) -> Tuple[np.ndarray, float]:
         j = basis.count
-        h = np.zeros(j, dtype=w.dtype)
+        if j == 0:
+            return np.zeros(0, dtype=w.dtype), kernels.norm2(w)
+        (bh,) = self._column_scratch(basis)
+        h = bh[:j]
         for i in range(j):
             v_i = basis.column(i)
             h_i = kernels.dot(v_i, w)

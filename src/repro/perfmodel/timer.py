@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .costs import CostEstimate
 
@@ -31,6 +31,7 @@ __all__ = [
     "KernelRecord",
     "KernelTimer",
     "active_timer",
+    "timers_active",
     "push_timer",
     "pop_timer",
     "use_timer",
@@ -254,6 +255,18 @@ def active_timer() -> Optional[KernelTimer]:
 def active_timers() -> List[KernelTimer]:
     """All timers currently on the stack (outermost first)."""
     return list(_TIMER_STACK)
+
+
+def timers_active() -> bool:
+    """True when at least one timer is on the stack.
+
+    The instrumented kernels probe this before touching ``perf_counter`` or
+    the cost model: a solve with no observer (and metering disabled) runs
+    the raw backend call and nothing else — the "metering fast path".
+    Unlike :func:`active_timers` this allocates no list, so it is safe to
+    call once per kernel invocation.
+    """
+    return bool(_TIMER_STACK)
 
 
 def push_timer(timer: KernelTimer) -> KernelTimer:

@@ -34,8 +34,15 @@ class Preconditioner(abc.ABC):
         self.name = name
 
     @abc.abstractmethod
-    def apply(self, vector: np.ndarray) -> np.ndarray:
-        """Return ``M v``.  ``vector`` must be in :attr:`precision`."""
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """Return ``M v``.  ``vector`` must be in :attr:`precision`.
+
+        ``out``, when given, is a caller-owned length-``n`` buffer in the
+        preconditioner precision; the application is written into it and
+        ``out`` is returned.  ``out`` must not alias ``vector``.
+        Implementations own whatever internal scratch their recurrences
+        need, so a steady-state ``apply(v, out=buf)`` allocates nothing.
+        """
 
     # -- optional hooks -------------------------------------------------- #
     @property
@@ -79,8 +86,12 @@ class IdentityPreconditioner(Preconditioner):
     def __init__(self, precision="double") -> None:
         super().__init__(precision=precision, name="identity")
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
-        return self._check_precision(vector)
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        vector = self._check_precision(vector)
+        if out is None:
+            return vector
+        out[:] = vector
+        return out
 
     @property
     def is_identity(self) -> bool:

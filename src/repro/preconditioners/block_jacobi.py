@@ -86,18 +86,29 @@ class BlockJacobiPreconditioner(Preconditioner):
             ) from exc
         self._inv_blocks = inv.astype(self.precision.dtype)
         self._padded = self._inv_blocks.shape[0] * self.block_size
+        if self._padded != self.n:
+            # Owned zero-padded input/output scratch for the ragged trailing
+            # block, so apply() stays allocation-free.
+            self._pad_in = np.zeros(self._padded, dtype=self.precision.dtype)
+            self._pad_out = np.empty(self._padded, dtype=self.precision.dtype)
+        else:
+            self._pad_in = self._pad_out = None
         self._setup_seconds = time.perf_counter() - start
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         vector = self._check_precision(vector)
         if vector.shape[0] != self.n:
             raise ValueError("vector length does not match the matrix dimension")
         if self._padded != self.n:
-            padded = np.zeros(self._padded, dtype=vector.dtype)
-            padded[: self.n] = vector
-            result = kernels.block_diag_solve(self._inv_blocks, padded)
-            return result[: self.n]
-        return kernels.block_diag_solve(self._inv_blocks, vector)
+            self._pad_in[: self.n] = vector
+            result = kernels.block_diag_solve(
+                self._inv_blocks, self._pad_in, out=self._pad_out
+            )
+            if out is None:
+                return result[: self.n].copy()
+            out[:] = result[: self.n]
+            return out
+        return kernels.block_diag_solve(self._inv_blocks, vector, out=out)
 
     @property
     def n_blocks(self) -> int:

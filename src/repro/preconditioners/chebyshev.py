@@ -98,12 +98,19 @@ class ChebyshevPreconditioner(Preconditioner):
         self.lmax = float(lmax)
         self._theta = (self.lmax + self.lmin) / 2.0
         self._delta = (self.lmax - self.lmin) / 2.0
+        # Owned scratch for the three-term recurrence (residual, search
+        # direction, SpMV output) so apply(v, out=buf) allocates nothing.
+        n = self._matrix.n_rows
+        dtype = self.precision.dtype
+        self._r = np.empty(n, dtype=dtype)
+        self._d = np.empty(n, dtype=dtype)
+        self._w = np.empty(n, dtype=dtype)
         self._setup_seconds = time.perf_counter() - start
 
     def spmvs_per_apply(self) -> int:
         return self.degree
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         """Chebyshev semi-iteration applied to the zero initial guess.
 
         Runs the classical three-term Chebyshev recurrence (Saad, "Iterative
@@ -117,14 +124,18 @@ class ChebyshevPreconditioner(Preconditioner):
         A = self._matrix
         dtype = vector.dtype
         theta, delta = self._theta, self._delta
-        x = np.zeros_like(vector)
-        r = kernels.copy(vector)  # residual of the zero initial guess
+        if out is None:
+            x = np.zeros_like(vector)
+        else:
+            out[:] = 0
+            x = out
+        r = kernels.copy(vector, out=self._r)  # residual of the zero initial guess
         sigma1 = theta / delta
         rho = 1.0 / sigma1
-        d = r * dtype.type(1.0 / theta)
+        d = np.multiply(r, dtype.type(1.0 / theta), out=self._d)
         for _ in range(self.degree):
             kernels.axpy(1.0, d, x)
-            w = kernels.spmv(A, d)
+            w = kernels.spmv(A, d, out=self._w)
             kernels.axpy(-1.0, w, r)
             rho_new = 1.0 / (2.0 * sigma1 - rho)
             kernels.scal(rho_new * rho, d)

@@ -50,9 +50,9 @@ class JacobiPreconditioner(Preconditioner):
         self._inv_diag = (1.0 / diag).astype(self.precision.dtype)
         self._setup_seconds = time.perf_counter() - start
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         vector = self._check_precision(vector)
-        return kernels.diag_scale(self._inv_diag, vector)
+        return kernels.diag_scale(self._inv_diag, vector, out=out)
 
     @property
     def inverse_diagonal(self) -> np.ndarray:

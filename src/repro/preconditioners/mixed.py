@@ -36,6 +36,17 @@ class PrecisionWrappedPreconditioner(Preconditioner):
         outer = as_precision(outer_precision)
         super().__init__(precision=outer, name=f"{inner.name}@{outer.name}")
         self.inner = inner
+        self._inner_scratch = None  # lazily sized (down-cast input, inner output)
+
+    def _inner_buffers(self, n: int):
+        """Owned inner-precision buffers for the down-cast vector and the
+        inner application (allocated once per vector length)."""
+        bufs = self._inner_scratch
+        if bufs is None or bufs[0].shape[0] != n:
+            dtype = self.inner.precision.dtype
+            bufs = (np.empty(n, dtype=dtype), np.empty(n, dtype=dtype))
+            self._inner_scratch = bufs
+        return bufs
 
     @property
     def is_identity(self) -> bool:
@@ -47,13 +58,14 @@ class PrecisionWrappedPreconditioner(Preconditioner):
     def setup_seconds(self) -> float:
         return self.inner.setup_seconds()
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         vector = self._check_precision(vector)
         if self.inner.precision.dtype == self.precision.dtype:
-            return self.inner.apply(vector)
-        down = kernels.cast(vector, self.inner.precision)
-        result = self.inner.apply(down)
-        return kernels.cast(result, self.precision)
+            return self.inner.apply(vector, out=out)
+        down_buf, inner_buf = self._inner_buffers(vector.shape[0])
+        down = kernels.cast(vector, self.inner.precision, out=down_buf)
+        result = self.inner.apply(down, out=inner_buf)
+        return kernels.cast(result, self.precision, out=out)
 
 
 def wrap_for_precision(preconditioner: Preconditioner, working_precision) -> Preconditioner:

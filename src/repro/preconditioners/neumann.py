@@ -47,22 +47,28 @@ class NeumannPreconditioner(Preconditioner):
         if np.any(diag == 0.0):
             raise ValueError("matrix has zero diagonal entries; Neumann/Jacobi is undefined")
         self._inv_diag = (1.0 / diag).astype(self.precision.dtype)
+        # Owned scratch (Jacobi-scaled right-hand side + SpMV output) so
+        # apply(v, out=buf) allocates nothing.
+        n = self._matrix.n_rows
+        self._g = np.empty(n, dtype=self.precision.dtype)
+        self._w = np.empty(n, dtype=self.precision.dtype)
         self._setup_seconds = time.perf_counter() - start
 
     def spmvs_per_apply(self) -> int:
         return self.degree
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         """Apply ``sum_k (I - D^{-1}A)^k D^{-1} v`` via the stable recurrence.
 
         ``y_0 = D^{-1} v``;  ``y_{k+1} = D^{-1} v + (I - D^{-1} A) y_k``.
         """
         vector = self._check_precision(vector)
-        g = kernels.diag_scale(self._inv_diag, vector)
-        y = kernels.copy(g)
+        g = kernels.diag_scale(self._inv_diag, vector, out=self._g)
+        y = kernels.copy(g, out=out)
         for _ in range(self.degree):
-            w = kernels.spmv(self._matrix, y)
-            correction = kernels.diag_scale(self._inv_diag, w)
+            w = kernels.spmv(self._matrix, y, out=self._w)
+            # diag_scale may alias in place (elementwise), saving a buffer.
+            correction = kernels.diag_scale(self._inv_diag, w, out=self._w)
             # y <- g + y - D^{-1} A y
             kernels.axpy(-1.0, correction, y)
             kernels.axpy(1.0, g, y)

@@ -198,6 +198,14 @@ class GmresPolynomialPreconditioner(Preconditioner):
         self.roots = leja_order(theta)
         if apply_method == "power":
             self._coefficients = self._power_coefficients(self.roots)
+        # Owned scratch for the product-form/Horner recurrences: the running
+        # product, one SpMV output and one second-order SpMV output, so a
+        # steady-state apply(v, out=buf) allocates nothing.
+        n = self._matrix.n_rows
+        dtype = self.precision.dtype
+        self._prod = np.empty(n, dtype=dtype)
+        self._w = np.empty(n, dtype=dtype)
+        self._t = np.empty(n, dtype=dtype)
         self._setup_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------ #
@@ -236,18 +244,23 @@ class GmresPolynomialPreconditioner(Preconditioner):
                 i += 2
         return count
 
-    def apply(self, vector: np.ndarray) -> np.ndarray:
+    def apply(self, vector: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
         vector = self._check_precision(vector)
         if self.apply_method == "power":
-            return self._apply_power(vector)
-        return self._apply_roots(vector)
+            return self._apply_power(vector, out=out)
+        return self._apply_roots(vector, out=out)
 
     # -- product form over Leja-ordered roots --------------------------- #
-    def _apply_roots(self, vector: np.ndarray) -> np.ndarray:
+    def _apply_roots(
+        self, vector: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
         A = self._matrix
-        dtype = self.precision.dtype
-        prod = kernels.copy(vector)
-        y = np.zeros_like(vector)
+        prod = kernels.copy(vector, out=self._prod)
+        if out is None:
+            y = np.zeros_like(vector)
+        else:
+            out[:] = 0
+            y = out
         roots = self.roots
         d = roots.size
         i = 0
@@ -260,34 +273,40 @@ class GmresPolynomialPreconditioner(Preconditioner):
                 inv = 1.0 / theta.real
                 kernels.axpy(inv, prod, y)
                 if not last_real:
-                    w = kernels.spmv(A, prod)
+                    w = kernels.spmv(A, prod, out=self._w)
                     kernels.axpy(-inv, w, prod)
                 i += 1
             else:
                 a = theta.real
                 m2 = theta.real * theta.real + theta.imag * theta.imag
-                w = kernels.spmv(A, prod)
+                w = kernels.spmv(A, prod, out=self._w)
                 kernels.axpy(2.0 * a / m2, prod, y)
                 kernels.axpy(-1.0 / m2, w, y)
                 if not last_pair:
-                    t = kernels.spmv(A, w)
+                    t = kernels.spmv(A, w, out=self._t)
                     kernels.axpy(-2.0 * a / m2, w, prod)
                     kernels.axpy(1.0 / m2, t, prod)
                 i += 2
-        return y.astype(dtype, copy=False)
+        return y
 
     # -- naive Horner on monomial coefficients (ablation) ---------------- #
-    def _apply_power(self, vector: np.ndarray) -> np.ndarray:
+    def _apply_power(
+        self, vector: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
         A = self._matrix
         coeffs = self._coefficients
-        dtype = self.precision.dtype
-        # Horner: p(A) v = c_0 v + A (c_1 v + A (c_2 v + ...)).
-        y = np.full_like(vector, 0.0)
+        # Horner: p(A) v = c_0 v + A (c_1 v + A (c_2 v + ...)), ping-ponging
+        # between the two owned scratch vectors (spmv forbids out aliasing x).
+        y = self._w
+        y[:] = 0
         kernels.axpy(float(coeffs[-1]), vector, y)
         for c in coeffs[-2::-1]:
-            y = kernels.spmv(A, y)
+            y = kernels.spmv(A, y, out=self._t if y is self._w else self._w)
             kernels.axpy(float(c), vector, y)
-        return y.astype(dtype, copy=False)
+        if out is None:
+            return y.copy()
+        out[:] = y
+        return out
 
     @property
     def matrix(self) -> CsrMatrix:

@@ -110,11 +110,20 @@ def cg(
                 details={},
             )
 
-        w = kernels.spmv(A, x)
-        r = kernels.copy(b_work)
+        # Pre-allocated iteration vectors, reused for the whole solve (the
+        # short recurrence touches the same six length-n buffers every step).
+        w = np.empty_like(x)
+        r = np.empty_like(x)
+        p = np.empty_like(x)
+        Ap = np.empty_like(x)
+        r_true = np.empty_like(x)
+        z_buf = None if precond.is_identity else np.empty_like(x)
+
+        kernels.spmv(A, x, out=w)
+        kernels.copy(b_work, out=r)
         kernels.axpy(-1.0, w, r)
-        z = r if precond.is_identity else precond.apply(r)
-        p = kernels.copy(z)
+        z = r if precond.is_identity else precond.apply(r, out=z_buf)
+        kernels.copy(z, out=p)
         rz = kernels.dot(r, z)
         rnorm = kernels.norm2(r)
         relative_residual = rnorm / bnorm
@@ -125,8 +134,8 @@ def cg(
                 # Verify with the true residual before declaring convergence:
                 # the recursive residual of low-precision CG can drift far
                 # below what the iterate actually achieves.
-                w = kernels.spmv(A, x)
-                r_true = kernels.copy(b_work)
+                kernels.spmv(A, x, out=w)
+                kernels.copy(b_work, out=r_true)
                 kernels.axpy(-1.0, w, r_true)
                 true_rel = kernels.norm2(r_true) / bnorm
                 history.record_explicit(iterations, true_rel)
@@ -135,7 +144,7 @@ def cg(
                     status = SolverStatus.CONVERGED
                     break
                 relative_residual = true_rel
-            Ap = kernels.spmv(A, p)
+            kernels.spmv(A, p, out=Ap)
             pAp = kernels.dot(p, Ap)
             if pAp <= 0.0:
                 # Not SPD (or breakdown in low precision).
@@ -147,8 +156,8 @@ def cg(
             iterations += 1
 
             if explicit_residual_every and iterations % explicit_residual_every == 0:
-                w = kernels.spmv(A, x)
-                r_true = kernels.copy(b_work)
+                kernels.spmv(A, x, out=w)
+                kernels.copy(b_work, out=r_true)
                 kernels.axpy(-1.0, w, r_true)
                 rnorm = kernels.norm2(r_true)
                 relative_residual = rnorm / bnorm
@@ -158,7 +167,7 @@ def cg(
                 relative_residual = rnorm / bnorm
             history.record_implicit(iterations, relative_residual)
 
-            z = r if precond.is_identity else precond.apply(r)
+            z = r if precond.is_identity else precond.apply(r, out=z_buf)
             rz_new = kernels.dot(r, z)
             beta = rz_new / rz if rz != 0.0 else 0.0
             rz = rz_new

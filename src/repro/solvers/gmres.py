@@ -70,6 +70,21 @@ class GmresWorkspace:
     solver and reuses it across refinement steps — just like the Belos
     solver object the paper's implementation re-feeds with new right-hand
     sides.
+
+    It also owns the scratch vectors of the steady-state iteration, so a
+    solve allocates nothing once the workspace exists:
+
+    * ``w`` / ``r`` — driver scratch for the restart-time true residual
+      (``w = A x``, ``r = b - w``);
+    * ``z`` — preconditioned-vector buffer inside the cycle (also reused
+      for the cycle-final right-preconditioner application);
+    * ``update`` — the solution update ``V y`` of a cycle;
+    * ``hcol`` — Hessenberg-column-length buffer for the triangular-solve
+      coefficients ``y`` at the end of a cycle.
+
+    ``update``/``z`` are handed out through :class:`CycleOutcome`, so the
+    outcome of a cycle is only valid until the next cycle runs on the same
+    workspace — every solver consumes it immediately.
     """
 
     def __init__(self, n: int, restart: int, precision) -> None:
@@ -77,6 +92,12 @@ class GmresWorkspace:
         self.restart = int(restart)
         self.basis = MultiVector(n, self.restart + 1, self.precision)
         self.givens = GivensWorkspace(self.restart, dtype=self.precision.dtype)
+        dtype = self.precision.dtype
+        self.w = np.empty(n, dtype=dtype)
+        self.r = np.empty(n, dtype=dtype)
+        self.z = np.empty(n, dtype=dtype)
+        self.update = np.empty(n, dtype=dtype)
+        self.hcol = np.empty(self.restart + 1, dtype=dtype)
 
     def storage_bytes(self) -> int:
         """Device memory held by the Krylov basis (for OOM checks)."""
@@ -126,7 +147,10 @@ def run_gmres_cycle(
     -------
     CycleOutcome
         The (right-preconditioned) solution update ``M V y`` and the
-        per-iteration implicit residual norms (absolute).
+        per-iteration implicit residual norms (absolute).  The update
+        vector is a view into the workspace's scratch and is only valid
+        until the next cycle runs on the same workspace; callers fold it
+        into their solution immediately.
     """
     dtype = workspace.precision.dtype
     if matrix.dtype != dtype:
@@ -144,7 +168,8 @@ def run_gmres_cycle(
 
     steps = workspace.restart if max_steps is None else min(max_steps, workspace.restart)
     if residual_norm <= 0.0 or steps == 0:
-        return CycleOutcome(update=np.zeros_like(residual), iterations=0)
+        workspace.update[:] = 0
+        return CycleOutcome(update=workspace.update, iterations=0)
 
     basis.append(residual)
     kernels.scal(1.0 / residual_norm, basis.column(0))
@@ -156,8 +181,11 @@ def run_gmres_cycle(
 
     for j in range(steps):
         v_j = basis.column(j)
-        z = v_j if preconditioner.is_identity else preconditioner.apply(v_j)
-        w = kernels.spmv(matrix, z)
+        z = v_j if preconditioner.is_identity else preconditioner.apply(v_j, out=workspace.z)
+        # The SpMV writes straight into the next basis column (a contiguous
+        # view of the Fortran-ordered block), so forming the new Arnoldi
+        # vector neither allocates nor copies.
+        w = kernels.spmv(matrix, z, out=basis.column(j + 1))
         h, h_next = ortho.orthogonalize(basis, w)
         implicit = givens.append_column(h, h_next)
         implicit_norms.append(implicit)
@@ -170,15 +198,15 @@ def run_gmres_cycle(
         # The next basis vector is always formed (Belos does the same); it is
         # simply unused when the cycle ends at this iteration.
         kernels.scal(1.0 / h_next, w)
-        basis.append(w)
+        basis.set_count(j + 2)  # column j+1 is already in place
         if absolute_target is not None and implicit <= absolute_target:
             implicit_converged = True
             break
 
-    y = givens.solve()
-    update = basis.combine(y, j=iterations)
+    y = givens.solve(out=workspace.hcol[:iterations])
+    update = basis.combine(y, j=iterations, out=workspace.update)
     if not preconditioner.is_identity:
-        update = preconditioner.apply(update)
+        update = preconditioner.apply(update, out=workspace.z)
     return CycleOutcome(
         update=update,
         iterations=iterations,
@@ -303,9 +331,10 @@ def gmres(
             )
 
         while True:
-            # True residual r = b - A x (recomputed at every restart).
-            w = kernels.spmv(A, x)
-            r = kernels.copy(b_work)
+            # True residual r = b - A x (recomputed at every restart, into
+            # the workspace's scratch vectors — no per-restart allocation).
+            w = kernels.spmv(A, x, out=workspace.w)
+            r = kernels.copy(b_work, out=workspace.r)
             kernels.axpy(-1.0, w, r)
             rnorm = kernels.norm2(r)
             relative_residual = rnorm / bnorm

@@ -124,6 +124,17 @@ def gmres_ir(
     history = ConvergenceHistory()
     timer = timer or KernelTimer(solver_name)
 
+    # Pre-allocated refinement vectors, reused across all refinement steps.
+    # The cross-precision buffers only exist when the precisions differ
+    # (kernels.cast is a no-op returning its input at equal precision).
+    w_outer = np.empty(n, dtype=outer.dtype)
+    r_outer = np.empty(n, dtype=outer.dtype)
+    correction = np.empty(n, dtype=inner.dtype)
+    mixed = inner.dtype != outer.dtype
+    r_inner_buf = np.empty(n, dtype=inner.dtype) if mixed else None
+    u_buf = np.empty(n, dtype=outer.dtype) if mixed else None
+    rhs_buf = np.empty(n, dtype=inner.dtype) if refine_every > 1 else None
+
     status = SolverStatus.MAX_ITERATIONS
     total_iterations = 0
     refinements = 0
@@ -150,8 +161,8 @@ def gmres_ir(
             # Outer (true) residual in the high precision.  The paper books
             # this under "Other" (it is part of the refinement overhead), so
             # the kernels are labelled "Residual".
-            w = kernels.spmv(A_outer, x, label="Residual")
-            r = kernels.copy(b_outer, label="Residual")
+            w = kernels.spmv(A_outer, x, out=w_outer, label="Residual")
+            r = kernels.copy(b_outer, out=r_outer, label="Residual")
             kernels.axpy(-1.0, w, r, label="Residual")
             rnorm = kernels.norm2(r, label="Residual")
             relative_residual = rnorm / bnorm
@@ -165,12 +176,12 @@ def gmres_ir(
                 break
 
             # Hand the residual to the low-precision solver (metered cast).
-            r_inner = kernels.cast(r, inner)
+            r_inner = kernels.cast(r, inner, out=r_inner_buf)
             rnorm_inner = kernels.norm2(r_inner)
 
             # Run `refine_every` inner cycles before the next refinement; the
             # standard algorithm refines after every cycle.
-            correction = np.zeros(n, dtype=inner.dtype)
+            correction[:] = 0
             cycle_rhs = r_inner
             cycle_rnorm = rnorm_inner
             inner_breakdown = False
@@ -199,22 +210,23 @@ def gmres_ir(
                     break
                 if refine_every > 1:
                     # Between refinements the inner solver restarts from its
-                    # own low-precision residual.
-                    w_in = kernels.spmv(A_inner, correction)
-                    cycle_rhs = kernels.copy(r_inner)
+                    # own low-precision residual (workspace.w is free between
+                    # cycles, so the extra SpMV lands there).
+                    w_in = kernels.spmv(A_inner, correction, out=workspace.w)
+                    cycle_rhs = kernels.copy(r_inner, out=rhs_buf)
                     kernels.axpy(-1.0, w_in, cycle_rhs)
                     cycle_rnorm = kernels.norm2(cycle_rhs)
 
             # Promote the correction and update the solution in fp64.
-            u = kernels.cast(correction, outer)
+            u = kernels.cast(correction, outer, out=u_buf)
             kernels.axpy(1.0, u, x, label="Residual")
             refinements += 1
             if inner_breakdown:
                 # A lucky breakdown in the inner solver: verify on the next
                 # outer residual; if it does not meet the tolerance there is
                 # nothing more the inner solver can do.
-                w = kernels.spmv(A_outer, x, label="Residual")
-                r = kernels.copy(b_outer, label="Residual")
+                w = kernels.spmv(A_outer, x, out=w_outer, label="Residual")
+                r = kernels.copy(b_outer, out=r_outer, label="Residual")
                 kernels.axpy(-1.0, w, r, label="Residual")
                 rnorm = kernels.norm2(r, label="Residual")
                 relative_residual = rnorm / bnorm

@@ -108,6 +108,19 @@ def gmres_ir_three_precision(
     history = ConvergenceHistory()
     timer = timer or KernelTimer(solver_name)
 
+    # Pre-allocated refinement vectors, reused across all refinement steps.
+    # Cross-precision buffers only exist when the adjacent precisions differ
+    # (kernels.cast returns its input unchanged at equal precision); the
+    # scaled residual and the fp32 residual check borrow the middle
+    # workspace's driver scratch, which is free between cycles.
+    w_outer = np.empty(n, dtype=outer.dtype)
+    r_outer = np.empty(n, dtype=outer.dtype)
+    r_mid_buf = np.empty(n, dtype=middle.dtype) if middle.dtype != outer.dtype else None
+    r_half_buf = np.empty(n, dtype=inner.dtype) if inner.dtype != middle.dtype else None
+    u_mid_buf = np.empty(n, dtype=middle.dtype) if middle.dtype != inner.dtype else None
+    u_outer_buf = np.empty(n, dtype=outer.dtype) if middle.dtype != outer.dtype else None
+    check_buf = np.empty(n, dtype=middle.dtype)
+
     status = SolverStatus.MAX_ITERATIONS
     total_iterations = 0
     refinements = 0
@@ -133,8 +146,8 @@ def gmres_ir_three_precision(
             )
 
         while True:
-            w = kernels.spmv(A_outer, x, label="Residual")
-            r = kernels.copy(b_outer, label="Residual")
+            w = kernels.spmv(A_outer, x, out=w_outer, label="Residual")
+            r = kernels.copy(b_outer, out=r_outer, label="Residual")
             kernels.axpy(-1.0, w, r, label="Residual")
             rnorm = kernels.norm2(r, label="Residual")
             relative_residual = rnorm / bnorm
@@ -148,14 +161,14 @@ def gmres_ir_three_precision(
 
             # Middle level: one correction in fp32, itself computed either by
             # an fp16 cycle (scaled to unit norm) or by an fp32 fallback.
-            r_mid = kernels.cast(r, middle)
+            r_mid = kernels.cast(r, middle, out=r_mid_buf)
             rnorm_mid = kernels.norm2(r_mid)
 
             # --- try the half-precision inner cycle ----------------------- #
             scale = rnorm_mid if rnorm_mid > 0 else 1.0
-            r_scaled = kernels.copy(r_mid)
+            r_scaled = kernels.copy(r_mid, out=ws_middle.r)
             kernels.scal(1.0 / scale, r_scaled)
-            r_half = kernels.cast(r_scaled, inner)
+            r_half = kernels.cast(r_scaled, inner, out=r_half_buf)
             rnorm_half = kernels.norm2(r_half)
             accepted = False
             if np.isfinite(rnorm_half) and rnorm_half > 0:
@@ -171,11 +184,11 @@ def gmres_ir_three_precision(
                 )
                 update_half = outcome.update
                 if np.all(np.isfinite(update_half)):
-                    u_mid = kernels.cast(update_half, middle)
+                    u_mid = kernels.cast(update_half, middle, out=u_mid_buf)
                     kernels.scal(scale, u_mid)
                     # Evaluate the achieved reduction in fp32.
-                    w_mid = kernels.spmv(A_middle, u_mid)
-                    check = kernels.copy(r_mid)
+                    w_mid = kernels.spmv(A_middle, u_mid, out=ws_middle.w)
+                    check = kernels.copy(r_mid, out=check_buf)
                     kernels.axpy(-1.0, w_mid, check)
                     achieved = kernels.norm2(check)
                     if achieved <= improvement_threshold * rnorm_mid:
@@ -209,7 +222,7 @@ def gmres_ir_three_precision(
                     )
                 correction_mid = outcome.update
 
-            u = kernels.cast(correction_mid, outer)
+            u = kernels.cast(correction_mid, outer, out=u_outer_buf)
             kernels.axpy(1.0, u, x, label="Residual")
             refinements += 1
 
