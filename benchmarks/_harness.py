@@ -20,7 +20,13 @@ the machine-readable benchmark output used by CI:
   trajectory.  The summary block records the pre-PR per-iteration baseline
   (measured before the allocation-free hot path landed) and the speedup
   against it; ``benchmarks/check_solve_regression.py`` diffs a fresh run
-  against the committed file in CI.
+  against the committed file in CI;
+* ``python benchmarks/_harness.py --solve-block`` times Block-GMRES at
+  block size 8 against 8 sequential GMRES solves (both backends, plain and
+  polynomial-preconditioned) and emits ``BENCH_block.json``; it *enforces*
+  the batched-solve acceptance gate (``BLOCK_GATE``: ≥2× per-RHS speedup
+  on the reference backend in the preconditioned configuration) and fails
+  the run when the gate or the sequential-parity check is violated.
 """
 
 from __future__ import annotations
@@ -321,6 +327,197 @@ def run_solve(out: Optional[pathlib.Path] = None, *, repeats: int = 3) -> pathli
     return path
 
 
+#: The batched-solve acceptance gate: on the reference backend, Block-GMRES
+#: at block size 8 must beat 8 sequential GMRES solves by this factor in
+#: per-RHS wall time, in the paper's polynomial-preconditioned solver
+#: configuration (where iterations are SpMM-dominated — see the README's
+#: "Batched multi-RHS solving" subsection for when blocking wins).
+BLOCK_GATE = {
+    "backend": "numpy",
+    "matrix": "Laplace3D32",
+    "config": "poly16",
+    "block_size": 8,
+    "min_speedup": 2.0,
+}
+
+#: (label, polynomial degree or None, sequential restart, block restart)
+_BLOCK_CONFIGS = [
+    ("poly16", 16, 50, 15),
+    ("plain", None, 50, 16),
+]
+
+
+def run_solve_block(
+    out: Optional[pathlib.Path] = None,
+    *,
+    repeats: int = 3,
+    grid: int = 32,
+    block_size: int = 8,
+    tol: float = 1e-8,
+) -> pathlib.Path:
+    """Batched multi-RHS solve benchmark → BENCH_block.json (with gate).
+
+    For every backend and solver configuration, times ``block_size``
+    sequential fp64 GMRES solves against one Block-GMRES solve of the same
+    right-hand sides (both unmetered, best-of-``repeats``), verifies the
+    block solutions match the sequential ones to solver tolerance, and
+    records the per-RHS speedup.  Exits nonzero if the acceptance gate
+    configuration (:data:`BLOCK_GATE`) falls below its threshold.
+    """
+    import numpy as np
+
+    from repro.backends import available_backends
+    from repro.config import rng
+    from repro.linalg.context import ExecutionContext, set_context
+    from repro.matrices import laplace3d
+    from repro.preconditioners.polynomial import GmresPolynomialPreconditioner
+    from repro.solvers import block_gmres, gmres
+
+    matrix = laplace3d(grid)
+    label = f"Laplace3D{grid}"
+    B = rng(2024).standard_normal((matrix.n_rows, block_size))
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    parity: Dict[str, float] = {}
+    try:
+        for backend in available_backends():
+            set_context(ExecutionContext(meter=False, backend=backend))
+            for config, degree, seq_restart, blk_restart in _BLOCK_CONFIGS:
+                precond = (
+                    GmresPolynomialPreconditioner(matrix, degree=degree)
+                    if degree is not None
+                    else None
+                )
+                seq_kwargs = dict(
+                    restart=seq_restart,
+                    tol=tol,
+                    max_restarts=10,
+                    preconditioner=precond,
+                    fp64_check=True,
+                )
+                blk_kwargs = dict(
+                    restart=blk_restart,
+                    tol=tol,
+                    max_restarts=60,
+                    preconditioner=precond,
+                    fp64_check=True,
+                )
+
+                def run_sequential():
+                    return [gmres(matrix, B[:, c], **seq_kwargs) for c in range(block_size)]
+
+                def run_block():
+                    return block_gmres(matrix, B, **blk_kwargs)
+
+                # Interleave the sequential and block measurements so machine
+                # drift (thermal, noisy neighbours) cancels out of the ratio,
+                # as the committed --solve baselines were recorded.  Only the
+                # gate configuration earns the full repeat count.
+                n_reps = repeats if config == BLOCK_GATE["config"] else 1
+                seq_results = run_sequential()  # warm-up (plans, BLAS, caches)
+                blk = run_block()  # warm-up
+                t_seq = float("inf")
+                t_blk = float("inf")
+                for _ in range(n_reps):
+                    start = time.perf_counter()
+                    seq_results = run_sequential()
+                    t_seq = min(t_seq, time.perf_counter() - start)
+                    start = time.perf_counter()
+                    blk = run_block()
+                    t_blk = min(t_blk, time.perf_counter() - start)
+
+                # Correctness: every column converged on both paths and the
+                # block solutions match the sequential ones to solver
+                # tolerance (the residual criterion both paths satisfy).
+                assert all(r.converged for r in seq_results), (
+                    f"sequential {backend}/{config} did not converge"
+                )
+                assert blk.all_converged, f"block {backend}/{config} did not converge"
+                assert float(blk.relative_residuals_fp64.max()) <= tol * 1.01, (
+                    f"block {backend}/{config} residual above tolerance"
+                )
+                max_diff = max(
+                    float(
+                        np.linalg.norm(blk.X[:, c] - seq_results[c].x)
+                        / np.linalg.norm(seq_results[c].x)
+                    )
+                    for c in range(block_size)
+                )
+                assert max_diff < 1e-5, (
+                    f"block {backend}/{config} drifted from sequential: {max_diff:.2e}"
+                )
+
+                key = f"{backend}/{config}"
+                speedups[key] = t_seq / t_blk
+                parity[key] = max_diff
+                common = {
+                    "benchmark": "solve_block",
+                    "backend": backend,
+                    "matrix": label,
+                    "config": config,
+                    "dtype": "double",
+                    "block_size": block_size,
+                    "tolerance": tol,
+                }
+                entries.append(
+                    dict(
+                        common,
+                        mode="sequential",
+                        solver=f"gmres({seq_restart})",
+                        wall_seconds=t_seq,
+                        per_rhs_wall_seconds=t_seq / block_size,
+                        iterations=sum(r.iterations for r in seq_results),
+                    )
+                )
+                entries.append(
+                    dict(
+                        common,
+                        mode="block",
+                        solver=f"block-gmres({blk_restart}x{block_size})",
+                        wall_seconds=t_blk,
+                        per_rhs_wall_seconds=t_blk / block_size,
+                        iterations=int(blk.iterations.max()),
+                        block_iterations=blk.block_iterations,
+                        max_solution_diff_vs_sequential=max_diff,
+                    )
+                )
+                print(
+                    f"[block] {backend}/{config}: sequential {t_seq * 1e3:.0f} ms, "
+                    f"block {t_blk * 1e3:.0f} ms -> {t_seq / t_blk:.2f}x per RHS "
+                    f"(max drift {max_diff:.1e})",
+                    flush=True,
+                )
+    finally:
+        set_context(ExecutionContext())
+
+    summary: Dict[str, object] = {
+        "grid": grid,
+        "block_size": block_size,
+        "tolerance": tol,
+        "repeats": repeats,
+        "gate": dict(BLOCK_GATE),
+        "per_rhs_speedup_block_over_sequential": speedups,
+        "max_solution_diff_vs_sequential": parity,
+    }
+    path = write_bench_json("block", entries, summary=summary, out=out)
+    print(f"[block] wrote {path}")
+
+    gate_key = f"{BLOCK_GATE['backend']}/{BLOCK_GATE['config']}"
+    gate_speedup = speedups.get(gate_key, 0.0)
+    if gate_speedup < BLOCK_GATE["min_speedup"]:
+        print(
+            f"[block] FAIL gate: {gate_key} per-RHS speedup "
+            f"{gate_speedup:.2f}x < {BLOCK_GATE['min_speedup']}x",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(
+        f"[block] gate holds: {gate_key} {gate_speedup:.2f}x >= "
+        f"{BLOCK_GATE['min_speedup']}x per RHS"
+    )
+    return path
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="repro benchmark harness CLI")
     parser.add_argument(
@@ -339,6 +536,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the end-to-end GMRES(50) solve benchmark (BENCH_solve.json)",
     )
     parser.add_argument(
+        "--solve-block",
+        action="store_true",
+        help="run the batched multi-RHS solve benchmark with its >=2x "
+        "per-RHS gate (BENCH_block.json)",
+    )
+    parser.add_argument(
         "--grid", type=int, default=64, help="Laplace3D grid for --backends"
     )
     parser.add_argument(
@@ -348,9 +551,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the output path (only valid with exactly one mode)",
     )
     args = parser.parse_args(argv)
-    modes = [args.smoke, args.backends, args.solve]
+    modes = [args.smoke, args.backends, args.solve, args.solve_block]
     if not any(modes):
-        parser.error("choose at least one of --smoke / --backends / --solve")
+        parser.error(
+            "choose at least one of --smoke / --backends / --solve / --solve-block"
+        )
     if args.out is not None and sum(modes) > 1:
         parser.error("--out is ambiguous with more than one mode")
     if args.smoke:
@@ -359,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_backend_comparison(args.grid, out=args.out)
     if args.solve:
         run_solve(out=args.out)
+    if args.solve_block:
+        run_solve_block(out=args.out)
     return 0
 
 

@@ -47,6 +47,7 @@ from .linalg import MultiVector, use_device, use_backend
 from .perfmodel import KernelTimer, use_timer, DeviceSpec, get_device
 from .solvers import (
     SolveResult,
+    MultiSolveResult,
     SolverStatus,
     ConvergenceHistory,
     gmres,
@@ -54,6 +55,9 @@ from .solvers import (
     gmres_fd,
     cg,
     gmres_ir_three_precision,
+    block_gmres,
+    block_gmres_ir,
+    solve_many,
 )
 from .preconditioners import (
     JacobiPreconditioner,
@@ -104,6 +108,7 @@ __all__ = [
     "get_device",
     # solvers
     "SolveResult",
+    "MultiSolveResult",
     "SolverStatus",
     "ConvergenceHistory",
     "gmres",
@@ -111,6 +116,9 @@ __all__ = [
     "gmres_fd",
     "cg",
     "gmres_ir_three_precision",
+    "block_gmres",
+    "block_gmres_ir",
+    "solve_many",
     # preconditioners
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",

@@ -127,6 +127,45 @@ class KernelBackend(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # dense block-of-vectors (BLAS-3 orthogonalization) kernels          #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def gemm_transpose(
+        self,
+        V: np.ndarray,
+        W: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``H = V^T W`` for a tall-skinny basis block ``V`` (n × j) against
+        a dense block of vectors ``W`` (n × k) — the BLAS-3 analogue of
+        :meth:`gemv_transpose` used by block orthogonalization.
+
+        ``out``, when given, is the caller-owned ``(j, k)`` coefficient
+        block; it must be C-contiguous so the product can be formed
+        directly into it.  ``out`` must not alias ``V`` or ``W``.
+        """
+
+    @abc.abstractmethod
+    def gemm_notrans(
+        self,
+        V: np.ndarray,
+        H: np.ndarray,
+        W: np.ndarray,
+        *,
+        alpha: float = -1.0,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``W += alpha * (V H)`` in place on ``W`` (n × k); returns ``W``.
+
+        The BLAS-3 analogue of :meth:`gemv_notrans`: ``alpha=-1`` is the
+        block Gram-Schmidt subtraction ``W -= V H``; ``alpha=+1`` with a
+        pre-zeroed ``W`` forms the block solution update ``V Y``.
+        ``work``, when given, is an ``(n, k)`` C-contiguous scratch block
+        for the intermediate product ``V H`` so the call allocates nothing;
+        it must not alias ``W``.
+        """
+
+    # ------------------------------------------------------------------ #
     # vector kernels                                                     #
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -139,8 +178,20 @@ class KernelBackend(abc.ABC):
         array — the reduction is a single fused dot)."""
 
     @abc.abstractmethod
-    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """``y += alpha x`` in place; returns ``y``."""
+    def axpy(
+        self,
+        alpha: float,
+        x: np.ndarray,
+        y: np.ndarray,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``y += alpha x`` in place; returns ``y``.
+
+        ``work``, when given, is caller-owned scratch of ``x``'s shape for
+        the scaled intermediate ``alpha x``, so the update allocates
+        nothing (without it the backend may form a temporary); it must not
+        alias ``x`` or ``y``.
+        """
 
     @abc.abstractmethod
     def scal(self, alpha: float, x: np.ndarray) -> np.ndarray:

@@ -1,8 +1,9 @@
 """Pure-NumPy reference backend.
 
 The raw CSR kernels here are the library's numerical ground truth (moved
-from :mod:`repro.sparse.ops`, which still re-exports them): vectorised
-NumPy with no per-row Python loops, following the HPC-Python guidance —
+from :mod:`repro.sparse.ops`, which keeps only deprecation shims that
+route through the active backend): vectorised NumPy with no per-row
+Python loops, following the HPC-Python guidance —
 ``np.add.reduceat`` for the row sums of the SpMV/SpMM and
 ``np.bincount``/fancy indexing for scatter operations.
 
@@ -149,6 +150,21 @@ def spmm(
     return out
 
 
+def _copy_block(target: np.ndarray, source: np.ndarray) -> None:
+    """Copy a 2-D block without the ufunc's mixed-layout buffering.
+
+    Assigning a C-ordered block into a Fortran-ordered one (or vice versa)
+    makes NumPy's iterator fall back to internal buffering — a transient
+    allocation of up to two buffer chunks on every call.  Column-wise 1-D
+    copies are buffer-free and elementwise identical.
+    """
+    if target.flags.c_contiguous == source.flags.c_contiguous:
+        target[:] = source
+    else:
+        for c in range(target.shape[1]):
+            target[:, c] = source[:, c]
+
+
 _SPMV_PLAN_KEY = "numpy_spmv_plan"
 
 
@@ -177,6 +193,126 @@ def _spmv_plan(matrix: "CsrMatrix") -> Optional[dict]:
         }
         cache[_SPMV_PLAN_KEY] = plan
     return plan
+
+
+#: DIA-format SpMM eligibility: at most this many distinct diagonals and at
+#: most 2x storage blow-up from padding (stencil matrices sit at ~1x).
+_DIA_MAX_DIAGONALS = 48
+_DIA_MAX_PAD_FACTOR = 2.0
+
+
+def _dia_plan(matrix: "CsrMatrix", plan: dict) -> Optional[dict]:
+    """Cached DIA (diagonal) view of a stencil-like matrix, or ``None``.
+
+    Finite-difference matrices concentrate their nonzeros on a handful of
+    diagonals.  Storing those diagonals densely turns the SpMM gather into
+    pure *slicing* — each diagonal contributes ``Y[lo:hi] += vals[lo:hi] *
+    X[lo+d:hi+d]`` — which is how the batched product actually amortizes
+    the matrix traversal on this backend (the CSR gather/reduceat path
+    costs more than ``k`` independent SpMVs).  Built lazily, once per
+    matrix; matrices whose diagonal count or padding blow-up exceeds the
+    thresholds are marked ineligible and use the gather path.
+    """
+    dia = plan.get("dia", None)
+    if dia is False:
+        return None
+    if dia is not None:
+        return dia
+    n_rows = matrix.shape[0]
+    nnz = matrix.data.size
+    counts = np.diff(matrix.indptr)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+    offs = matrix.indices.astype(np.int64) - rows
+    offsets = np.unique(offs)
+    if (
+        nnz == 0
+        or offsets.size > _DIA_MAX_DIAGONALS
+        or offsets.size * n_rows > _DIA_MAX_PAD_FACTOR * nnz
+    ):
+        plan["dia"] = False
+        return None
+    values = np.zeros((offsets.size, n_rows), dtype=matrix.data.dtype)
+    values[np.searchsorted(offsets, offs), rows] = matrix.data
+    dia = {"offsets": [int(d) for d in offsets], "values": values, "scratch": {}}
+    plan["dia"] = dia
+    return dia
+
+
+def _dia_spmm(
+    matrix: "CsrMatrix",
+    dia: dict,
+    X: np.ndarray,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Diagonal-format batched product ``Y = A X`` (see :func:`_dia_plan`).
+
+    Works in the transposed ``(k, n)`` orientation so that the
+    Fortran-ordered blocks the solvers pass (Krylov basis panels) are
+    C-contiguous views and every slice update runs buffer-free; blocks in
+    other layouts are staged through cached scratch column by column.
+    """
+    n_rows, n_cols = matrix.shape
+    k = X.shape[1]
+    dtype = X.dtype
+    if out is None:
+        out = np.zeros((n_rows, k), dtype=dtype)
+    elif out.shape != (n_rows, k):
+        raise ValueError("output block has wrong shape")
+    if k == 0:
+        return out
+    scratch = dia["scratch"]
+    key = (dtype.str, k)
+    bufs = scratch.get(key)
+    if bufs is None:
+        bufs = scratch[key] = (
+            np.empty((k, n_rows), dtype=dtype),  # product scratch
+            np.empty((k, n_cols), dtype=dtype),  # staging for non-F sources
+            np.empty((k, n_rows), dtype=dtype),  # staging for non-F outputs
+        )
+    g_t, x_stage, y_stage = bufs
+    if X.flags.f_contiguous:
+        x_t = X.T
+    else:
+        for c in range(k):
+            x_stage[c] = X[:, c]
+        x_t = x_stage
+    out_is_f = out.flags.f_contiguous
+    y_t = out.T if out_is_f else y_stage
+    values = dia["values"]
+    offsets = dia["offsets"]
+    # Process row ranges small enough that the x panel, the product scratch
+    # and the y panel all stay cache-resident across the diagonal sweep —
+    # the x entries a row range touches are nearly the same for every
+    # diagonal, so chunking turns k·n_diags streams into ~one.  The first
+    # diagonal touching a chunk writes its product straight into y (only
+    # the uncovered edges are zero-filled), saving a full zero+add pass.
+    chunk = max(1024, (1 << 19) // (k * dtype.itemsize))
+    for c0 in range(0, n_rows, chunk):
+        c1 = min(c0 + chunk, n_rows)
+        filled = False
+        for di, d in enumerate(offsets):
+            lo = max(max(0, -d), c0)
+            hi = min(min(n_rows, n_cols - d), c1)
+            if hi <= lo:
+                continue
+            x_slice = x_t[:, lo + d : hi + d]
+            if not filled:
+                if lo > c0:
+                    y_t[:, c0:lo] = 0
+                if hi < c1:
+                    y_t[:, hi:c1] = 0
+                np.multiply(x_slice, values[di, lo:hi], out=y_t[:, lo:hi])
+                filled = True
+            else:
+                g = g_t[:, lo:hi]
+                np.multiply(x_slice, values[di, lo:hi], out=g)
+                np.add(y_t[:, lo:hi], g, out=y_t[:, lo:hi])
+        if not filled:
+            y_t[:, c0:c1] = 0
+    if not out_is_f:
+        for c in range(k):
+            out[:, c] = y_t[c]
+    return out
 
 
 class NumpyBackend(KernelBackend):
@@ -257,7 +393,65 @@ class NumpyBackend(KernelBackend):
         X: np.ndarray,
         out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        return spmm(matrix.data, matrix.indices, matrix.indptr, X, out=out)
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValueError("spmm expects a 2-D block of column vectors")
+        if X.shape[0] != matrix.shape[1]:
+            raise ValueError("input block has wrong number of rows")
+        plan = _spmv_plan(matrix) if matrix.data.dtype == X.dtype else None
+        if plan is not None:
+            dia = _dia_plan(matrix, plan)
+            if dia is not None:
+                return _dia_spmm(matrix, dia, X, out)
+        if plan is None or out is None:
+            return spmm(matrix.data, matrix.indices, matrix.indptr, X, out=out)
+        n_rows, k = matrix.shape[0], X.shape[1]
+        if out.shape != (n_rows, k):
+            raise ValueError("output block has wrong shape")
+        nnz = matrix.data.size
+        if nnz == 0 or k == 0:
+            out[:] = 0
+            return out
+        dtype = X.dtype
+        starts = plan["starts"]
+        rows = plan["rows"]
+        scratch = plan["scratch"]
+        key = ("spmm", dtype.str, k)
+        bufs = scratch.get(key)
+        if bufs is None:
+            bufs = scratch[key] = (
+                np.empty((X.shape[0], k), dtype=dtype),  # C-contiguous gather source
+                np.empty((nnz, k), dtype=dtype),
+                np.empty((starts.size, k), dtype=dtype),
+            )
+        Xc, prod, sums = bufs
+        # Gathering rows of a C-contiguous block is cache-friendly; copying a
+        # Fortran-ordered operand (the Krylov basis) once costs n*k, the
+        # gather costs nnz*k, so the copy pays for itself.  Copies between
+        # mixed C/F layouts go column by column: a 2-D mixed-layout ufunc
+        # falls back to internal buffering, a transient allocation the
+        # steady-state contract forbids.
+        if X.flags.c_contiguous:
+            source = X
+        else:
+            _copy_block(Xc, X)
+            source = Xc
+        # Same gather → multiply → segmented-reduce sequence as the module
+        # reference above (elementwise product is commutative), so results
+        # are bit-identical; only the temporaries are reused.
+        np.take(source, plan["indices"], axis=0, out=prod, mode="clip")
+        # Column-wise multiply: broadcasting data[:, None] against the 2-D
+        # product block would buffer internally (transient allocation); the
+        # 1-D columns multiply buffer-free and bit-identically.
+        for c in range(k):
+            np.multiply(matrix.data, prod[:, c], out=prod[:, c])
+        np.add.reduceat(prod, starts, axis=0, out=sums)
+        if rows is None:
+            _copy_block(out, sums)
+        else:
+            out[:] = 0
+            out[rows, :] = sums
+        return out
 
     # -------------------------------- dense --------------------------- #
     def gemv_transpose(
@@ -298,6 +492,54 @@ class NumpyBackend(KernelBackend):
             w += w.dtype.type(alpha) * (V @ h)
         return w
 
+    def gemm_transpose(
+        self,
+        V: np.ndarray,
+        W: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if out is None:
+            return V.T @ W
+        np.dot(V.T, W, out=out)
+        return out
+
+    def gemm_notrans(
+        self,
+        V: np.ndarray,
+        H: np.ndarray,
+        W: np.ndarray,
+        *,
+        alpha: float = -1.0,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if (
+            work is not None
+            and work.shape == W.shape
+            and work.dtype == W.dtype
+            and work.flags.c_contiguous
+        ):
+            np.dot(V, H, out=work)
+            if alpha not in (-1.0, 1.0):
+                np.multiply(work, W.dtype.type(alpha), out=work)
+            op = np.subtract if alpha == -1.0 else np.add
+            if W.flags.c_contiguous == work.flags.c_contiguous:
+                op(W, work, out=W)
+            else:
+                # Mixed C/F layouts make the 2-D ufunc fall back to its
+                # internal buffering (a transient allocation on the hot
+                # path); column-wise 1-D updates are buffer-free and
+                # elementwise-identical.
+                for c in range(W.shape[1]):
+                    op(W[:, c], work[:, c], out=W[:, c])
+            return W
+        if alpha == -1.0:
+            W -= V @ H
+        elif alpha == 1.0:
+            W += V @ H
+        else:
+            W += W.dtype.type(alpha) * (V @ H)
+        return W
+
     # -------------------------------- vector -------------------------- #
     def dot(self, x: np.ndarray, y: np.ndarray) -> float:
         return float(np.dot(x, y))
@@ -306,7 +548,23 @@ class NumpyBackend(KernelBackend):
         # Accumulate in the working dtype (np.dot keeps the dtype), then sqrt.
         return float(np.sqrt(np.dot(x, x)))
 
-    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def axpy(
+        self,
+        alpha: float,
+        x: np.ndarray,
+        y: np.ndarray,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if (
+            work is not None
+            and work.shape == x.shape
+            and work.dtype == x.dtype
+            and work.flags.c_contiguous == x.flags.c_contiguous
+            and y.flags.c_contiguous == x.flags.c_contiguous
+        ):
+            np.multiply(x, x.dtype.type(alpha), out=work)
+            np.add(y, work, out=y)
+            return y
         y += x.dtype.type(alpha) * x
         return y
 

@@ -46,7 +46,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from .numpy_backend import NumpyBackend
+from .numpy_backend import NumpyBackend, _copy_block
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sparse.csr import CsrMatrix
@@ -59,8 +59,12 @@ try:  # private but long-stable compiled kernels with an output argument
     from scipy.sparse import _sparsetools as _st
 
     _CSR_MATVEC = getattr(_st, "csr_matvec", None)
+    _CSR_MATVECS = getattr(_st, "csr_matvecs", None)
 except Exception:  # pragma: no cover - exotic scipy builds
     _CSR_MATVEC = None
+    _CSR_MATVECS = None
+
+_SPMM_SCRATCH_KEY = "scipy_spmm_scratch"
 
 
 class ScipyBackend(NumpyBackend):
@@ -152,12 +156,89 @@ class ScipyBackend(NumpyBackend):
         X = np.asarray(X)
         if X.ndim != 2:
             raise ValueError("spmm expects a 2-D block of column vectors")
+        if X.shape[0] != matrix.shape[1]:
+            raise ValueError("input block has wrong number of rows")
         if matrix.data.dtype == np.float16:
             return super().spmm(matrix, X, out=out)
-        Y = self._handle(matrix) @ X
+        handle = self._handle(matrix)
+        n_rows, k = matrix.shape[0], X.shape[1]
+        if out is not None and out.shape != (n_rows, k):
+            raise ValueError("output block has wrong shape")
+        if k == 0:
+            return np.zeros((n_rows, 0), dtype=X.dtype) if out is None else out
+        if (
+            out is not None
+            and k > 0
+            and _CSR_MATVEC is not None
+            and X.dtype == handle.data.dtype == out.dtype
+            and X.flags.f_contiguous
+            and out.flags.f_contiguous
+        ):
+            # Fortran-ordered blocks (the Krylov basis panels) have
+            # contiguous columns, so the fastest compiled path is one
+            # csr_matvec per column: it vectorizes better than the
+            # row-major csr_matvecs kernel and is arithmetically identical
+            # (both accumulate row-wise per column).
+            out[:] = 0  # csr_matvec accumulates y += A x
+            for c in range(k):
+                _CSR_MATVEC(
+                    handle.shape[0],
+                    handle.shape[1],
+                    handle.indptr,
+                    handle.indices,
+                    handle.data,
+                    X[:, c],
+                    out[:, c],
+                )
+            return out
+        if (
+            out is not None
+            and k > 0
+            and _CSR_MATVECS is not None
+            and X.dtype == handle.data.dtype == out.dtype
+        ):
+            # csr_matvecs is the compiled kernel `handle @ X` itself calls
+            # (scipy's _matmul_multivector), so the numerics are identical;
+            # it wants row-major blocks, so non-C-contiguous operands go
+            # through cached per-(dtype, k) scratch and the hot path
+            # allocates nothing.
+            cache = getattr(matrix, "backend_cache", None)
+            scratch = None if cache is None else cache.setdefault(_SPMM_SCRATCH_KEY, {})
+            if X.flags.c_contiguous:
+                source = X
+            else:
+                source = self._spmm_buffer(scratch, ("x", X.dtype.str, k), X.shape)
+                _copy_block(source, X)
+            if out.flags.c_contiguous:
+                target = out
+            else:
+                target = self._spmm_buffer(scratch, ("y", out.dtype.str, k), out.shape)
+            target[:] = 0  # csr_matvecs accumulates Y += A X
+            _CSR_MATVECS(
+                handle.shape[0],
+                handle.shape[1],
+                k,
+                handle.indptr,
+                handle.indices,
+                handle.data,
+                source.ravel(),
+                target.ravel(),
+            )
+            if target is not out:
+                _copy_block(out, target)
+            return out
+        Y = handle @ X
         if out is None:
             return Y
-        if out.shape != Y.shape:
-            raise ValueError("output block has wrong shape")
         out[:] = Y
         return out
+
+    @staticmethod
+    def _spmm_buffer(scratch, key, shape):
+        """C-contiguous per-(dtype, k) staging block, cached on the matrix."""
+        if scratch is None:
+            return np.empty(shape, dtype=np.dtype(key[1]))
+        buf = scratch.get(key)
+        if buf is None or buf.shape != shape:
+            buf = scratch[key] = np.empty(shape, dtype=np.dtype(key[1]))
+        return buf

@@ -29,6 +29,7 @@ __all__ = [
     "back_substitute",
     "hessenberg_lstsq",
     "GivensWorkspace",
+    "BlockGivensWorkspace",
 ]
 
 
@@ -143,6 +144,185 @@ class GivensWorkspace:
         y = back_substitute(self.R[:j, :j], self.g[:j], out=out)
         meter_host_dense(j * j)
         return y
+
+
+class BlockGivensWorkspace:
+    """Incremental QR of the block-GMRES *band* Hessenberg matrix.
+
+    Block Arnoldi with block size ``k`` produces a Hessenberg matrix whose
+    column ``q`` has nonzeros down to row ``q + k`` (a band of ``k``
+    subdiagonals).  This workspace maintains, in the working dtype:
+
+    * ``R`` — the upper-triangular factor (capacity ``(m·p + p) × m·p``),
+    * ``G`` — the rotated block right-hand side ``Q^T (E₁ S)`` where ``S``
+      is the triangular factor of the initial residual block's QR; the
+      trailing ``k`` rows of its leading columns carry the per-column
+      *implicit* residual norms,
+    * ``QT`` — the accumulated orthogonal factor, kept densely so a new
+      panel of ``k`` Hessenberg columns is rotated by all previous
+      rotations with one small host-side matmul instead of replaying
+      ``O(m·p·k)`` scalar rotations per column.
+
+    All buffers are pre-allocated at construction (per-width scratch is
+    created once per distinct active block width, i.e. once per deflation
+    event), so the per-iteration path allocates nothing — the block
+    analogue of :class:`GivensWorkspace`, filed under the same host-side
+    "Other" cost bucket.
+    """
+
+    def __init__(self, max_cols: int, band: int, dtype=np.float64) -> None:
+        if max_cols <= 0 or band <= 0:
+            raise ValueError("max_cols and band must be positive")
+        self.dtype = np.dtype(dtype)
+        self.max_cols = max_cols
+        self.band = band
+        rows = max_cols + band
+        self._max_rows = rows
+        self.R = np.zeros((rows, max_cols), dtype=self.dtype)
+        self.G = np.zeros((rows, band), dtype=self.dtype)
+        self.QT = np.zeros((rows, rows), dtype=self.dtype)
+        self._t0 = np.empty(rows, dtype=self.dtype)
+        self._t1 = np.empty(rows, dtype=self.dtype)
+        self._panel_scratch = {}  # active width k -> pair of (rows, k) C blocks
+        self._solve_scratch = np.empty(band, dtype=self.dtype)
+        self.size = 0
+        self.active_band = band
+
+    def reset(self, S: np.ndarray) -> None:
+        """Start a cycle whose initial residual block QR'ed to ``S`` (k × k)."""
+        S = np.asarray(S)
+        k = S.shape[0]
+        if S.shape != (k, k) or k > self.band:
+            raise ValueError("initial coefficient block has wrong shape")
+        self.active_band = k
+        self.size = 0
+        self.R[:] = 0
+        self.G[:] = 0
+        self.G[:k, :k] = S
+        self.QT[:] = 0
+        np.fill_diagonal(self.QT, self.dtype.type(1))
+        # The staging block must start zero below the written region (rows
+        # only ever extend downward within a cycle, so one zero-fill per
+        # reset keeps the full-height matmul exact).
+        stage, _rotated = self._panel_buffers(k)
+        stage[:] = 0
+
+    def _panel_buffers(self, k: int):
+        bufs = self._panel_scratch.get(k)
+        if bufs is None:
+            bufs = self._panel_scratch[k] = (
+                np.zeros((self._max_rows, k), dtype=self.dtype),
+                np.empty((self._max_rows, k), dtype=self.dtype),
+            )
+        return bufs
+
+    def _rotate_rows(self, M: np.ndarray, r: int, c, s, width: int) -> None:
+        """Apply ``[c -s; s c]``-style rotation to rows ``r-1``/``r`` of ``M``."""
+        row0 = M[r - 1, :width]
+        row1 = M[r, :width]
+        t0 = self._t0[:width]
+        t1 = self._t1[:width]
+        np.multiply(row0, c, out=t0)
+        np.multiply(row1, s, out=t1)
+        np.subtract(t0, t1, out=t0)  # new row0 = c·row0 - s·row1
+        np.multiply(row0, s, out=t1)
+        np.multiply(row1, c, out=row1)
+        np.add(row1, t1, out=row1)  # new row1 = s·row0 + c·row1
+        row0[:] = t0
+
+    def append_block(self, panel: np.ndarray) -> None:
+        """Add one block step's panel of ``k`` Hessenberg columns.
+
+        ``panel`` holds rows ``0 .. q + 2k - 1`` of Hessenberg columns
+        ``q .. q + k - 1`` (``q = self.size``): the block-projection
+        coefficients on top, the intra-block triangular factor below.
+        """
+        q = self.size
+        k = self.active_band
+        if panel.shape != (q + 2 * k, k):
+            raise ValueError("Hessenberg panel has wrong shape")
+        if q + k > self.max_cols:
+            raise RuntimeError("BlockGivensWorkspace is full")
+        target = self.R[: q + 2 * k, q : q + k]
+        if q > 0:
+            # Rotate the new panel by all previous rotations with one
+            # contiguous full-height matmul: rows below the written region
+            # are zero in the staging block and identity in Q^T, so the
+            # product equals the sliced application without the internal
+            # copy a strided np.dot slice would make.
+            stage, rotated = self._panel_buffers(k)
+            stage[: q + 2 * k] = panel
+            np.dot(self.QT, stage, out=rotated)
+            target[:] = rotated[: q + 2 * k]
+        else:
+            target[:] = panel
+        width = q + 2 * k
+        for i in range(k):
+            col_index = q + i
+            col = self.R[:, col_index]
+            for r in range(q + k + i, col_index, -1):
+                if col[r] == 0:
+                    continue
+                c, s = givens_rotation(float(col[r - 1]), float(col[r]), dtype=self.dtype)
+                c = self.dtype.type(c)
+                s = self.dtype.type(s)
+                head = col[r - 1]
+                col[r - 1] = c * head - s * col[r]
+                col[r] = 0
+                # The same rotation hits the panel columns to the right,
+                # the rotated right-hand side and the accumulated Q^T.
+                for cc in range(col_index + 1, q + k):
+                    other = self.R[:, cc]
+                    head_o = other[r - 1]
+                    other[r - 1] = c * head_o - s * other[r]
+                    other[r] = s * head_o + c * other[r]
+                self._rotate_rows(self.G, r, c, s, k)
+                self._rotate_rows(self.QT, r, c, s, width)
+        self.size = q + k
+        meter_host_dense(q * q * k + 6 * k * k * (q + 2 * k))
+
+    def residual_norms(self, out: "np.ndarray | None" = None) -> np.ndarray:
+        """Per-column implicit residual norms ``‖G[q:q+k, c]‖₂`` (length k)."""
+        q = self.size
+        k = self.active_band
+        tail = self.G[q : q + k, :k]
+        if out is None:
+            out = np.empty(k, dtype=np.float64)
+        sq = self._t0[:k]
+        for c in range(k):
+            col = tail[:, c]
+            np.multiply(col, col, out=sq)
+            out[c] = float(np.sqrt(sq.sum(dtype=np.float64)))
+        return out
+
+    def solve(self, out: np.ndarray) -> np.ndarray:
+        """Back-substitute ``R Y = G`` for the block coefficients ``Y``.
+
+        ``out`` is a caller-owned C-contiguous ``(size, k)`` buffer.  A
+        (near-)zero diagonal entry zeroes that coefficient row instead of
+        raising: it corresponds to a deflated/linearly-dependent Krylov
+        direction whose Hessenberg column is entirely zero, for which the
+        zero coefficient *is* the minimum-norm least-squares choice.
+        """
+        q = self.size
+        k = self.active_band
+        if out.shape != (q, k):
+            raise ValueError("solve output buffer has wrong shape")
+        tiny = np.finfo(self.dtype).tiny
+        row = self._solve_scratch[:k]
+        for i in range(q - 1, -1, -1):
+            if i + 1 < q:
+                np.dot(self.R[i, i + 1 : q], out[i + 1 : q], out=row)
+                np.subtract(self.G[i, :k], row, out=out[i])
+            else:
+                out[i] = self.G[i, :k]
+            diag = self.R[i, i]
+            if abs(diag) <= tiny:
+                out[i] = 0
+            else:
+                out[i] /= diag
+        meter_host_dense(q * q * k)
+        return out
 
 
 def back_substitute(

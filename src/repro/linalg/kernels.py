@@ -79,6 +79,8 @@ __all__ = [
     "spmm",
     "gemv_transpose",
     "gemv_notrans",
+    "gemm_transpose",
+    "gemm_notrans",
     "dot",
     "norm2",
     "axpy",
@@ -245,6 +247,68 @@ def gemv_notrans(
     return w
 
 
+def gemm_transpose(
+    V: np.ndarray,
+    W: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    label: str = "GEMM (Trans)",
+) -> np.ndarray:
+    """``H = V^T W`` — the block inner-product pass of block Gram-Schmidt.
+
+    The BLAS-3 analogue of :func:`gemv_transpose`: the basis block ``V``
+    (n × j) is read once for all ``k`` columns of ``W``.  ``out``, when
+    given, receives the ``(j, k)`` coefficient block (C-contiguous).
+    """
+    V = np.asarray(V)
+    W = np.asarray(W)
+    dtype = _check_same_dtype(V, W)
+    ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.gemm_transpose(V, W, out=out)
+    start = time.perf_counter()
+    H = ctx.backend.gemm_transpose(V, W, out=out)
+    wall = time.perf_counter() - start
+    cost = ctx.cost_model.gemm(
+        V.shape[0], V.shape[1], W.shape[1], dtype.itemsize, trans=True
+    )
+    _record(label, dtype, cost, wall)
+    return H
+
+
+def gemm_notrans(
+    V: np.ndarray,
+    H: np.ndarray,
+    W: np.ndarray,
+    *,
+    alpha: float = -1.0,
+    work: Optional[np.ndarray] = None,
+    label: str = "GEMM (No Trans)",
+) -> np.ndarray:
+    """``W += alpha * (V H)`` in place on the block ``W`` (n × k).
+
+    The BLAS-3 analogue of :func:`gemv_notrans`: ``alpha=-1`` is the block
+    Gram-Schmidt subtraction, ``alpha=+1`` with a pre-zeroed ``W`` the
+    block solution update ``V Y``.  ``work`` is optional ``(n, k)``
+    C-contiguous scratch for the intermediate product (clobbered; must not
+    alias ``W``).
+    """
+    V = np.asarray(V)
+    H = np.asarray(H)
+    dtype = _check_same_dtype(V, H, np.asarray(W))
+    ctx = get_context()
+    if not (ctx.meter and timers_active()):
+        return ctx.backend.gemm_notrans(V, H, W, alpha=alpha, work=work)
+    start = time.perf_counter()
+    W = ctx.backend.gemm_notrans(V, H, W, alpha=alpha, work=work)
+    wall = time.perf_counter() - start
+    cost = ctx.cost_model.gemm(
+        V.shape[0], V.shape[1], H.shape[1], dtype.itemsize, trans=False
+    )
+    _record(label, dtype, cost, wall)
+    return W
+
+
 # ---------------------------------------------------------------------- #
 # vector kernels                                                         #
 # ---------------------------------------------------------------------- #
@@ -285,15 +349,27 @@ def norm2(x: np.ndarray, *, label: str = "Norm") -> float:
     return value
 
 
-def axpy(alpha: float, x: np.ndarray, y: np.ndarray, *, label: str = "axpy") -> np.ndarray:
-    """``y += alpha * x`` in place (metered under "Other")."""
+def axpy(
+    alpha: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    work: Optional[np.ndarray] = None,
+    label: str = "axpy",
+) -> np.ndarray:
+    """``y += alpha * x`` in place (metered under "Other").
+
+    ``work`` is optional caller-owned scratch of ``x``'s shape for the
+    scaled intermediate, making the update allocation-free (used by the
+    block solvers, whose ``x`` is an (n, k) block).
+    """
     x = np.asarray(x)
     dtype = _check_same_dtype(x, np.asarray(y))
     ctx = get_context()
     if not (ctx.meter and timers_active()):
-        return ctx.backend.axpy(alpha, x, y)
+        return ctx.backend.axpy(alpha, x, y, work=work)
     start = time.perf_counter()
-    y = ctx.backend.axpy(alpha, x, y)
+    y = ctx.backend.axpy(alpha, x, y, work=work)
     wall = time.perf_counter() - start
     cost = ctx.cost_model.axpy(x.size, dtype.itemsize)
     _record(label, dtype, cost, wall)

@@ -92,6 +92,19 @@ class MultiVector:
             raise IndexError(f"block size {j} out of range")
         return self._block[:, :j]
 
+    def column_block(self, start: int, count: int) -> np.ndarray:
+        """Writable view of ``count`` consecutive columns from ``start``.
+
+        Because the storage is Fortran-ordered, the view is itself
+        F-contiguous — the shape block solvers hand to ``spmm``/``gemm``.
+        """
+        if start < 0 or count < 0 or start + count > self.capacity:
+            raise IndexError(
+                f"column block [{start}, {start + count}) out of range "
+                f"(capacity {self.capacity})"
+            )
+        return self._block[:, start : start + count]
+
     def append(self, vector: np.ndarray) -> int:
         """Copy ``vector`` into the next free column; returns its index."""
         if self._count >= self.capacity:
@@ -162,6 +175,69 @@ class MultiVector:
             out[:] = 0
         # out = 0 + V y via the metered update kernel keeps labels consistent.
         return kernels.gemv_notrans(V, coefficients, out, alpha=1.0, work=self._work)
+
+    # ------------------------------------------------------------------ #
+    # metered block-of-vectors (BLAS-3) operations                       #
+    # ------------------------------------------------------------------ #
+    def project_block(
+        self,
+        W: np.ndarray,
+        j: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``H = V_j^T W`` for a block of vectors ``W`` (n × k) (metered).
+
+        The BLAS-3 pass of block Gram-Schmidt: the basis is read once for
+        all ``k`` columns.  ``out``, when given, is the caller-owned
+        C-contiguous ``(j, k)`` coefficient block.
+        """
+        V = self.block(j)
+        return kernels.gemm_transpose(V, W, out=out)
+
+    def subtract_projection_block(
+        self,
+        W: np.ndarray,
+        H: np.ndarray,
+        j: Optional[int] = None,
+        *,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``W -= V_j H`` in place on the block ``W`` (metered).
+
+        ``work`` is caller-owned ``(n, k)`` C-contiguous scratch for the
+        intermediate product (the block analogue of the internal scratch
+        :meth:`subtract_projection` uses); without it the call allocates.
+        """
+        V = self.block(j)
+        return kernels.gemm_notrans(V, H, W, work=work)
+
+    def combine_block(
+        self,
+        coefficients: np.ndarray,
+        j: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+        *,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``X = V_j Y`` — form a block of solution updates (metered).
+
+        ``out``, when given, is a caller-owned ``(n, k)`` block (it is
+        zeroed first; must not alias the basis); ``work`` as in
+        :meth:`subtract_projection_block`.  The sign is folded into the
+        update kernel (``alpha=+1``), matching :meth:`combine`.
+        """
+        V = self.block(j)
+        coefficients = np.asarray(coefficients, dtype=self.dtype)
+        if coefficients.ndim != 2:
+            raise ValueError("combine_block expects a 2-D coefficient block")
+        k = coefficients.shape[1]
+        if out is None:
+            out = np.zeros((self.length, k), dtype=self.dtype, order="F")
+        else:
+            if out.shape != (self.length, k):
+                raise ValueError("combine_block output buffer has wrong shape")
+            out[:] = 0
+        return kernels.gemm_notrans(V, coefficients, out, alpha=1.0, work=work)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -8,6 +8,12 @@ provided for the ablation study (stability vs. kernel count).
 """
 
 from .base import OrthogonalizationManager
+from .block import (
+    BlockClassicalGramSchmidt,
+    BlockClassicalGramSchmidt2,
+    BlockOrthogonalizationManager,
+    make_block_ortho_manager,
+)
 from .cgs import ClassicalGramSchmidt
 from .cgs2 import ClassicalGramSchmidt2
 from .mgs import ModifiedGramSchmidt
@@ -18,6 +24,10 @@ __all__ = [
     "ClassicalGramSchmidt2",
     "ModifiedGramSchmidt",
     "make_ortho_manager",
+    "BlockOrthogonalizationManager",
+    "BlockClassicalGramSchmidt",
+    "BlockClassicalGramSchmidt2",
+    "make_block_ortho_manager",
 ]
 
 _REGISTRY = {

@@ -77,6 +77,11 @@ DEFAULT_EFFICIENCY: Dict[str, Dict[int, float]] = {
     "spmv": {8: 0.86, 4: 0.97, 2: 0.97},
     "gemv_t": {8: 0.92, 4: 0.59, 2: 0.50},
     "gemv_n": {8: 0.92, 4: 0.72, 2: 0.60},
+    # BLAS-3 block orthogonalization: one launch amortized over k vectors
+    # and register-blocked reuse of the basis panel keep the block kernels
+    # closer to streaming bandwidth than their k-fold GEMV equivalents.
+    "gemm_t": {8: 0.95, 4: 0.80, 2: 0.65},
+    "gemm_n": {8: 0.95, 4: 0.85, 2: 0.70},
     "dot": {8: 0.90, 4: 0.55, 2: 0.45},
     "norm": {8: 0.90, 4: 0.55, 2: 0.45},
     "axpy": {8: 0.92, 4: 0.80, 2: 0.70},
@@ -229,6 +234,45 @@ class KernelCostModel:
         )
         return CostEstimate(
             seconds=seconds, bytes=nbytes, flops=2.0 * n_rows * n_cols
+        )
+
+    def gemm(
+        self, n_rows: int, n_cols: int, k: int, value_bytes: int, *, trans: bool
+    ) -> CostEstimate:
+        """Tall-skinny dense GEMM against a ``k``-column block of vectors.
+
+        The BLAS-3 analogue of :meth:`gemv`: the basis panel (n × j)
+        streams through memory *once* for all ``k`` vectors instead of
+        ``k`` times, which is the whole point of block orthogonalization
+        (``trans=True`` is the block inner-product pass ``H = V^T W``,
+        ``trans=False`` the block update ``W -= V H``).  Only the vector
+        block and coefficient traffic scale with ``k``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        block_bytes = float(n_rows) * n_cols * value_bytes
+        panel_bytes = float(n_rows) * k * value_bytes
+        coeff_bytes = float(n_cols) * k * value_bytes
+        if trans:
+            nbytes = block_bytes + panel_bytes + coeff_bytes
+            kernel = "gemm_t"
+            # The (j × k) coefficient block rides back to the host, as in
+            # the GEMV case (Belos SerialDenseMatrix round trip).
+            host = (
+                self.device.host_transfer_latency
+                + n_cols * k * 8 / self.device.host_transfer_bandwidth
+            )
+        else:
+            nbytes = block_bytes + 2.0 * panel_bytes + coeff_bytes
+            kernel = "gemm_n"
+            host = self.device.host_transfer_latency
+        seconds = (
+            self._stream_time(kernel, nbytes, value_bytes)
+            + self.device.launch_latency
+            + host
+        )
+        return CostEstimate(
+            seconds=seconds, bytes=nbytes, flops=2.0 * n_rows * n_cols * k
         )
 
     def dot(self, n: int, value_bytes: int) -> CostEstimate:

@@ -44,6 +44,27 @@ class Preconditioner(abc.ABC):
         need, so a steady-state ``apply(v, out=buf)`` allocates nothing.
         """
 
+    def apply_block(
+        self, block: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Apply ``M`` to every column of ``block`` (n × k); returns the block.
+
+        The batched entry point of the block solvers.  The default applies
+        column by column (correct for every preconditioner); subclasses
+        whose recurrences are expressible on whole blocks (e.g. the GMRES
+        polynomial, whose application is a sequence of SpMVs) override it
+        with batched ``spmm`` kernels so the matrix traversal is amortized
+        across the block.  ``out`` must not alias ``block``.
+        """
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError("apply_block expects a 2-D block of column vectors")
+        if out is None:
+            out = np.empty(block.shape, dtype=self.precision.dtype, order="F")
+        for c in range(block.shape[1]):
+            self.apply(block[:, c], out=out[:, c])
+        return out
+
     # -- optional hooks -------------------------------------------------- #
     @property
     def is_identity(self) -> bool:

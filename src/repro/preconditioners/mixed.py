@@ -67,6 +67,46 @@ class PrecisionWrappedPreconditioner(Preconditioner):
         result = self.inner.apply(down, out=inner_buf)
         return kernels.cast(result, self.precision, out=out)
 
+    def apply_block(
+        self, block: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Cast the whole block around the inner *batched* application.
+
+        Delegating to ``inner.apply_block`` keeps the SpMM/BLAS-3 batching
+        of block-capable preconditioners (the polynomial) through the
+        precision boundary; the per-column casts are metered exactly like
+        the vector path's.
+        """
+        block = self._check_precision(np.asarray(block))
+        if block.ndim != 2:
+            raise ValueError("apply_block expects a 2-D block of column vectors")
+        if self.inner.precision.dtype == self.precision.dtype:
+            return self.inner.apply_block(block, out=out)
+        n, k = block.shape
+        down, applied = self._inner_block_buffers(n, k)
+        for c in range(k):
+            kernels.cast(block[:, c], self.inner.precision, out=down[:, c])
+        self.inner.apply_block(down, out=applied)
+        if out is None:
+            out = np.empty((n, k), dtype=self.precision.dtype, order="F")
+        for c in range(k):
+            kernels.cast(applied[:, c], self.precision, out=out[:, c])
+        return out
+
+    def _inner_block_buffers(self, n: int, k: int):
+        """Owned inner-precision blocks (per width, reallocated on deflation)."""
+        bufs = getattr(self, "_inner_block_scratch", None)
+        if bufs is None:
+            bufs = self._inner_block_scratch = {}
+        pair = bufs.get(k)
+        if pair is None or pair[0].shape[0] != n:
+            dtype = self.inner.precision.dtype
+            pair = bufs[k] = (
+                np.empty((n, k), dtype=dtype, order="F"),
+                np.empty((n, k), dtype=dtype, order="F"),
+            )
+        return pair
+
 
 def wrap_for_precision(preconditioner: Preconditioner, working_precision) -> Preconditioner:
     """Return a preconditioner usable from ``working_precision``.

@@ -12,17 +12,26 @@
   half/single/double refinement, the paper's future-work extension.
 """
 
-from .result import ConvergenceHistory, SolveResult, SolverStatus
+from .result import ConvergenceHistory, MultiSolveResult, SolveResult, SolverStatus
 from .status import LossOfAccuracyTest, MaxIterationsTest, ResidualTest, StagnationTest
 from .gmres import gmres, run_gmres_cycle, GmresWorkspace, CycleOutcome
 from .gmres_ir import gmres_ir
 from .gmres_fd import gmres_fd
 from .cg import cg
 from .ir_three_precision import gmres_ir_three_precision
+from .block_gmres import (
+    BlockCycleOutcome,
+    BlockGmresWorkspace,
+    block_gmres,
+    block_gmres_ir,
+    run_block_gmres_cycle,
+    solve_many,
+)
 
 __all__ = [
     "ConvergenceHistory",
     "SolveResult",
+    "MultiSolveResult",
     "SolverStatus",
     "ResidualTest",
     "MaxIterationsTest",
@@ -36,4 +45,10 @@ __all__ = [
     "gmres_fd",
     "cg",
     "gmres_ir_three_precision",
+    "block_gmres",
+    "block_gmres_ir",
+    "solve_many",
+    "run_block_gmres_cycle",
+    "BlockGmresWorkspace",
+    "BlockCycleOutcome",
 ]

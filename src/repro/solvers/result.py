@@ -17,7 +17,7 @@ import numpy as np
 
 from ..perfmodel.timer import KernelTimer
 
-__all__ = ["SolverStatus", "ConvergenceHistory", "SolveResult"]
+__all__ = ["SolverStatus", "ConvergenceHistory", "SolveResult", "MultiSolveResult"]
 
 
 class SolverStatus(str, enum.Enum):
@@ -166,6 +166,107 @@ class SolveResult:
             f"  iterations: {self.iterations} in {self.restarts} cycles",
             f"  relative residual: {self.relative_residual:.3e} "
             f"(fp64 check: {self.relative_residual_fp64:.3e})",
+            f"  modelled GPU time: {self.model_seconds:.4f} s; "
+            f"kernel wall time: {self.wall_seconds:.4f} s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class MultiSolveResult:
+    """Outcome of a batched multi-right-hand-side solve.
+
+    The block solvers advance every right-hand side through one shared
+    Krylov space, so iteration counts and statuses are *per column* while
+    the kernel timer is shared (the whole point of batching is that the
+    kernels are amortized and cannot be attributed to a single column).
+
+    Attributes
+    ----------
+    X:
+        Solution block, shape ``(n, n_rhs)``, columns in the caller's
+        original order (deflation reorders work internally, not results).
+    statuses:
+        Terminal :class:`SolverStatus` per column.
+    iterations:
+        Per-column iteration counts: the number of block-Arnoldi steps the
+        column participated in before its convergence was detected (for a
+        column whose implicit estimate converged mid-cycle, the step at
+        which it first dropped below the target, as later confirmed by the
+        explicit residual).
+    block_iterations:
+        Total block-Arnoldi steps performed (shared across columns).
+    restarts:
+        Restart cycles (for block GMRES-IR: refinement steps).
+    relative_residuals / relative_residuals_fp64:
+        Final true relative residual per column (working precision / fp64
+        recheck).
+    histories:
+        Per-column :class:`ConvergenceHistory`.
+    timer:
+        Shared :class:`KernelTimer` of the batched solve.
+    block_size:
+        Width of the (initial) block, i.e. ``n_rhs`` per sub-block.
+    """
+
+    X: np.ndarray
+    statuses: List[SolverStatus]
+    iterations: np.ndarray
+    block_iterations: int
+    restarts: int
+    relative_residuals: np.ndarray
+    relative_residuals_fp64: np.ndarray
+    histories: List[ConvergenceHistory]
+    timer: KernelTimer
+    solver: str
+    precision: str
+    block_size: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_rhs(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def all_converged(self) -> bool:
+        return all(s == SolverStatus.CONVERGED for s in self.statuses)
+
+    @property
+    def model_seconds(self) -> float:
+        """Modelled GPU solve time of the whole batch."""
+        return self.timer.total_model_seconds()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host wall-clock time spent in the metered kernels (whole batch)."""
+        return self.timer.total_wall_seconds()
+
+    def column(self, c: int) -> SolveResult:
+        """Per-column :class:`SolveResult` view (the timer stays shared)."""
+        return SolveResult(
+            x=self.X[:, c],
+            status=self.statuses[c],
+            iterations=int(self.iterations[c]),
+            restarts=self.restarts,
+            relative_residual=float(self.relative_residuals[c]),
+            relative_residual_fp64=float(self.relative_residuals_fp64[c]),
+            history=self.histories[c],
+            timer=self.timer,
+            solver=self.solver,
+            precision=self.precision,
+            details=dict(self.details, column=c),
+        )
+
+    def summary(self) -> str:
+        """Human-readable description of the batched run."""
+        converged = sum(s == SolverStatus.CONVERGED for s in self.statuses)
+        worst = float(np.max(self.relative_residuals)) if self.n_rhs else 0.0
+        lines = [
+            f"{self.solver} [{self.precision}] — "
+            f"{converged}/{self.n_rhs} columns converged",
+            f"  block iterations: {self.block_iterations} in {self.restarts} cycles "
+            f"(block size {self.block_size})",
+            f"  worst relative residual: {worst:.3e}",
             f"  modelled GPU time: {self.model_seconds:.4f} s; "
             f"kernel wall time: {self.wall_seconds:.4f} s",
         ]

@@ -158,3 +158,82 @@ class TestPropertyBased:
         h, h_next = manager.orthogonalize(V, w)
         assert np.max(np.abs(Q.T @ w)) < 1e-8 * max(1.0, np.linalg.norm(w))
         assert h_next == pytest.approx(np.linalg.norm(w), rel=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# block orthogonalization managers (Block-GMRES)                         #
+# ---------------------------------------------------------------------- #
+class TestBlockOrthogonalization:
+    def _basis_with_block(self, rng, n, start, k, dtype=np.float64):
+        """MultiVector holding `start` orthonormal columns + k raw columns."""
+        prec = "double" if dtype == np.float64 else "single"
+        V = MultiVector(n, start + k, prec)
+        if start:
+            Q, _ = np.linalg.qr(rng.standard_normal((n, start)))
+            for j in range(start):
+                V.append(Q[:, j].astype(dtype))
+        W = rng.standard_normal((n, k)).astype(dtype)
+        V.column_block(start, k)[:] = W
+        return V, W.copy()
+
+    @pytest.mark.parametrize("name", ["bcgs", "bcgs2"])
+    def test_factory(self, name):
+        from repro.ortho import make_block_ortho_manager
+
+        mgr = make_block_ortho_manager(name)
+        assert mgr.name == name
+        with pytest.raises(ValueError):
+            make_block_ortho_manager("nope")
+
+    def test_block_is_orthonormalized(self, rng):
+        from repro.ortho import make_block_ortho_manager
+
+        n, start, k = 300, 12, 4
+        V, _ = self._basis_with_block(rng, n, start, k)
+        mgr = make_block_ortho_manager("bcgs2")
+        panel, breakdown = mgr.orthogonalize_block(V, start, k)
+        assert not breakdown
+        assert panel.shape == (start + k, k)
+        full = V._block[:, : start + k]
+        gram = full.T @ full
+        np.testing.assert_allclose(gram, np.eye(start + k), atol=1e-10)
+
+    def test_panel_reconstructs_original_block(self, rng):
+        """[V_old  V_new] @ panel must reproduce the pre-ortho block."""
+        from repro.ortho import make_block_ortho_manager
+
+        n, start, k = 200, 8, 3
+        V, W_orig = self._basis_with_block(rng, n, start, k)
+        mgr = make_block_ortho_manager("bcgs2")
+        panel, _ = mgr.orthogonalize_block(V, start, k)
+        reconstructed = V._block[:, : start + k] @ panel
+        np.testing.assert_allclose(reconstructed, W_orig, rtol=1e-9, atol=1e-10)
+
+    def test_initial_block_qr(self, rng):
+        """start=0 performs the QR of the residual block: V0 S = R."""
+        from repro.ortho import make_block_ortho_manager
+
+        n, k = 150, 4
+        V = MultiVector(n, 2 * k, "double")
+        R = rng.standard_normal((n, k))
+        V.column_block(0, k)[:] = R
+        mgr = make_block_ortho_manager("bcgs2")
+        panel, breakdown = mgr.orthogonalize_block(V, 0, k)
+        assert not breakdown
+        S = panel[:k, :k]
+        assert np.allclose(S, np.triu(S))  # upper triangular
+        np.testing.assert_allclose(V._block[:, :k] @ S, R, rtol=1e-10, atol=1e-10)
+
+    def test_exact_zero_column_flags_breakdown(self, rng):
+        from repro.ortho import make_block_ortho_manager
+
+        n, k = 100, 3
+        V = MultiVector(n, k, "double")
+        R = rng.standard_normal((n, k))
+        R[:, 1] = 0.0
+        V.column_block(0, k)[:] = R
+        mgr = make_block_ortho_manager("bcgs2")
+        panel, breakdown = mgr.orthogonalize_block(V, 0, k)
+        assert breakdown
+        assert panel[1, 1] == 0.0
+        np.testing.assert_array_equal(V.column(1), 0)

@@ -124,6 +124,47 @@ class TestBackendOutContract:
         # bitwise too).
         np.testing.assert_array_equal(update, (V @ y).astype(dtype))
 
+    def test_gemm_transpose_out(self, name, dtype):
+        backend = get_backend(name)
+        V = np.asfortranarray(rng(5).standard_normal((200, 9)).astype(dtype))
+        W = np.asfortranarray(rng(6).standard_normal((200, 4)).astype(dtype))
+        out = np.empty((9, 4), dtype=dtype)
+        got = backend.gemm_transpose(V, W, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, backend.gemm_transpose(V, W))
+
+    def test_gemm_notrans_work_buffer_parity(self, name, dtype):
+        backend = get_backend(name)
+        V = np.asfortranarray(rng(5).standard_normal((200, 9)).astype(dtype))
+        H = rng(7).standard_normal((9, 4)).astype(dtype)
+        work = np.empty((200, 4), dtype=dtype)
+        W_plain = np.asfortranarray(rng(8).standard_normal((200, 4)).astype(dtype))
+        W_work = W_plain.copy(order="F")
+        backend.gemm_notrans(V, H, W_plain)
+        got = backend.gemm_notrans(V, H, W_work, work=work)
+        assert got is W_work
+        np.testing.assert_array_equal(W_plain, W_work)
+
+    def test_gemm_notrans_alpha_folds_sign(self, name, dtype):
+        backend = get_backend(name)
+        V = np.asfortranarray(rng(5).standard_normal((64, 5)).astype(dtype))
+        Y = rng(9).standard_normal((5, 3)).astype(dtype)
+        work = np.empty((64, 3), dtype=dtype)
+        update = np.zeros((64, 3), dtype=dtype, order="F")
+        backend.gemm_notrans(V, Y, update, alpha=1.0, work=work)
+        np.testing.assert_array_equal(update, (V @ Y).astype(dtype))
+
+    def test_axpy_work_buffer_parity(self, name, dtype):
+        backend = get_backend(name)
+        x = np.asfortranarray(rng(3).standard_normal((80, 4)).astype(dtype))
+        y_plain = np.asfortranarray(rng(4).standard_normal((80, 4)).astype(dtype))
+        y_work = y_plain.copy(order="F")
+        work = np.empty((80, 4), dtype=dtype, order="F")
+        backend.axpy(0.5, x, y_plain)
+        got = backend.axpy(0.5, x, y_work, work=work)
+        assert got is y_work
+        np.testing.assert_array_equal(y_plain, y_work)
+
     def test_copy_scal_out_paths(self, name, dtype):
         backend = get_backend(name)
         x = _vec(50, dtype)
@@ -327,5 +368,55 @@ def test_steady_state_gmres_cycle_is_allocation_free(backend):
     assert net < 16_384, f"steady-state cycles leak {net} B on {backend}"
     assert peak_extra < vector_bytes // 2, (
         f"a per-iteration allocation of {peak_extra} B (≥ half a vector) "
+        f"survived on {backend}"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_steady_state_block_gmres_cycle_is_allocation_free(backend):
+    """The Block-GMRES restart cycle (SpMM + block CGS2 + band Givens +
+    block combine) must not allocate per-iteration arrays once the
+    workspace exists, on either backend — same proof as the single-vector
+    cycle, with the threshold scaled to half an (n, k) block."""
+    from repro.ortho import make_block_ortho_manager
+    from repro.solvers.block_gmres import BlockGmresWorkspace, run_block_gmres_cycle
+
+    set_config(backend=backend)
+    set_context(meter=False)
+    matrix = laplace3d(20)  # n = 8000
+    n = matrix.n_rows
+    k = 8
+    restart = 20
+    workspace = BlockGmresWorkspace(n, restart, k, "double")
+    ortho = make_block_ortho_manager("bcgs2")
+    precond = IdentityPreconditioner(precision="double")
+    R = np.asfortranarray(rng(1).standard_normal((n, k)))
+
+    def cycle():
+        outcome = run_block_gmres_cycle(
+            matrix, R, workspace, ortho=ortho, preconditioner=precond
+        )
+        assert outcome.iterations == restart
+        return outcome
+
+    cycle()  # warmup: backend plans (incl. the DIA view), ortho + QR scratch
+    cycle()
+
+    block_bytes = n * k * 8
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(5):
+            cycle()
+        after, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    net = after - before
+    peak_extra = peak - before
+    assert net < 16_384, f"steady-state block cycles leak {net} B on {backend}"
+    assert peak_extra < block_bytes // 2, (
+        f"a per-iteration allocation of {peak_extra} B (≥ half a block) "
         f"survived on {backend}"
     )
