@@ -26,7 +26,18 @@ the machine-readable benchmark output used by CI:
   polynomial-preconditioned) and emits ``BENCH_block.json``; it *enforces*
   the batched-solve acceptance gate (``BLOCK_GATE``: ≥2× per-RHS speedup
   on the reference backend in the preconditioned configuration) and fails
-  the run when the gate or the sequential-parity check is violated.
+  the run when the gate or the sequential-parity check is violated;
+* ``python benchmarks/_harness.py --serve`` drives N concurrent client
+  threads against a :class:`repro.serve.OperatorSession` (batched
+  micro-batching scheduler vs the unbatched width-1 scheduler, both
+  backends) and emits ``BENCH_serve.json`` with RHS/s and p50/p95
+  queue-wait/solve/total latency; it *enforces* the serving acceptance
+  gate (``SERVE_GATE``: ≥2× RHS/s from batching on the reference backend)
+  plus the bit-parity (served == direct solve) and divergence-isolation
+  checks.
+
+The backend-selection/setup boilerplate those modes share lives in
+:func:`backend_context` / :func:`each_backend`.
 """
 
 from __future__ import annotations
@@ -37,9 +48,48 @@ import pathlib
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+# ---------------------------------------------------------------------- #
+# backend selection/setup (shared by every CLI mode and bench module)    #
+# ---------------------------------------------------------------------- #
+@contextmanager
+def backend_context(backend: Optional[str] = None, *, meter: bool = False) -> Iterator[str]:
+    """Install a pinned execution context for one benchmark measurement.
+
+    The boilerplate every solver-level benchmark used to repeat inline:
+    build an :class:`ExecutionContext` pinned to ``backend`` with metering
+    on or off, install it globally, and — crucially — restore the default
+    context afterwards even when the measurement raises.  Yields the
+    resolved backend name.
+    """
+    from repro.config import get_config
+    from repro.linalg.context import ExecutionContext, set_context
+
+    name = backend or get_config().backend
+    set_context(ExecutionContext(meter=meter, backend=name))
+    try:
+        yield name
+    finally:
+        set_context(ExecutionContext())
+
+
+def each_backend(*, meter: bool = False) -> Iterator[str]:
+    """Iterate every registered backend with a pinned context installed.
+
+    ``for backend in each_backend(): ...`` replaces the
+    ``available_backends()`` loop + ``set_context`` + ``try/finally`` reset
+    dance that was duplicated across the solve/block/serve modes.
+    """
+    from repro.backends import available_backends
+
+    for name in available_backends():
+        with backend_context(name, meter=meter):
+            yield name
 
 
 def run_once(benchmark, func):
@@ -266,7 +316,6 @@ def run_solve(out: Optional[pathlib.Path] = None, *, repeats: int = 3) -> pathli
     import numpy as np
 
     from repro.backends import available_backends
-    from repro.linalg.context import ExecutionContext, set_context
     from repro.matrices import laplace3d, uniflow2d
     from repro.solvers.gmres import gmres
 
@@ -274,45 +323,42 @@ def run_solve(out: Optional[pathlib.Path] = None, *, repeats: int = 3) -> pathli
     matrices = [("Laplace3D24", laplace3d(24)), ("UniFlow2D64", uniflow2d(64))]
     entries: List[Dict[str, object]] = []
     speedups: Dict[str, float] = {}
-    try:
-        for backend in available_backends():
-            for label, matrix in matrices:
-                b = np.ones(matrix.n_rows)
-                for mode in ("unmetered", "metered"):
-                    set_context(ExecutionContext(meter=(mode == "metered"), backend=backend))
+    for backend in available_backends():
+        for label, matrix in matrices:
+            b = np.ones(matrix.n_rows)
+            for mode in ("unmetered", "metered"):
+                with backend_context(backend, meter=(mode == "metered")):
                     result = gmres(matrix, b, **solve_kwargs)  # warm-up
                     best = float("inf")
                     for _ in range(repeats):
                         start = time.perf_counter()
                         result = gmres(matrix, b, **solve_kwargs)
                         best = min(best, time.perf_counter() - start)
-                    per_iter_us = best / result.iterations * 1e6
-                    entries.append(
-                        {
-                            "benchmark": "solve",
-                            "backend": backend,
-                            "matrix": label,
-                            "solver": "gmres(50)",
-                            "dtype": "double",
-                            "mode": mode,
-                            "status": str(result.status),
-                            "iterations": result.iterations,
-                            "wall_seconds": best,
-                            "wall_per_iteration_us": per_iter_us,
-                        }
-                    )
-                    if mode == "unmetered":
-                        key = f"{backend}/{label}"
-                        baseline = PRE_PR_BASELINE_US.get(key)
-                        if baseline:
-                            speedups[key] = baseline / per_iter_us
-                    print(
-                        f"[solve] {backend} {label} {mode}: "
-                        f"{result.iterations} iters, {per_iter_us:.1f} us/iter",
-                        flush=True,
-                    )
-    finally:
-        set_context(ExecutionContext())
+                per_iter_us = best / result.iterations * 1e6
+                entries.append(
+                    {
+                        "benchmark": "solve",
+                        "backend": backend,
+                        "matrix": label,
+                        "solver": "gmres(50)",
+                        "dtype": "double",
+                        "mode": mode,
+                        "status": str(result.status),
+                        "iterations": result.iterations,
+                        "wall_seconds": best,
+                        "wall_per_iteration_us": per_iter_us,
+                    }
+                )
+                if mode == "unmetered":
+                    key = f"{backend}/{label}"
+                    baseline = PRE_PR_BASELINE_US.get(key)
+                    if baseline:
+                        speedups[key] = baseline / per_iter_us
+                print(
+                    f"[solve] {backend} {label} {mode}: "
+                    f"{result.iterations} iters, {per_iter_us:.1f} us/iter",
+                    flush=True,
+                )
     summary: Dict[str, object] = {
         "solver": "gmres(50)",
         "dtype": "double",
@@ -366,9 +412,7 @@ def run_solve_block(
     """
     import numpy as np
 
-    from repro.backends import available_backends
     from repro.config import rng
-    from repro.linalg.context import ExecutionContext, set_context
     from repro.matrices import laplace3d
     from repro.preconditioners.polynomial import GmresPolynomialPreconditioner
     from repro.solvers import block_gmres, gmres
@@ -379,116 +423,112 @@ def run_solve_block(
     entries: List[Dict[str, object]] = []
     speedups: Dict[str, float] = {}
     parity: Dict[str, float] = {}
-    try:
-        for backend in available_backends():
-            set_context(ExecutionContext(meter=False, backend=backend))
-            for config, degree, seq_restart, blk_restart in _BLOCK_CONFIGS:
-                precond = (
-                    GmresPolynomialPreconditioner(matrix, degree=degree)
-                    if degree is not None
-                    else None
-                )
-                seq_kwargs = dict(
-                    restart=seq_restart,
-                    tol=tol,
-                    max_restarts=10,
-                    preconditioner=precond,
-                    fp64_check=True,
-                )
-                blk_kwargs = dict(
-                    restart=blk_restart,
-                    tol=tol,
-                    max_restarts=60,
-                    preconditioner=precond,
-                    fp64_check=True,
-                )
+    for backend in each_backend():
+        for config, degree, seq_restart, blk_restart in _BLOCK_CONFIGS:
+            precond = (
+                GmresPolynomialPreconditioner(matrix, degree=degree)
+                if degree is not None
+                else None
+            )
+            seq_kwargs = dict(
+                restart=seq_restart,
+                tol=tol,
+                max_restarts=10,
+                preconditioner=precond,
+                fp64_check=True,
+            )
+            blk_kwargs = dict(
+                restart=blk_restart,
+                tol=tol,
+                max_restarts=60,
+                preconditioner=precond,
+                fp64_check=True,
+            )
 
-                def run_sequential():
-                    return [gmres(matrix, B[:, c], **seq_kwargs) for c in range(block_size)]
+            def run_sequential():
+                return [gmres(matrix, B[:, c], **seq_kwargs) for c in range(block_size)]
 
-                def run_block():
-                    return block_gmres(matrix, B, **blk_kwargs)
+            def run_block():
+                return block_gmres(matrix, B, **blk_kwargs)
 
-                # Interleave the sequential and block measurements so machine
-                # drift (thermal, noisy neighbours) cancels out of the ratio,
-                # as the committed --solve baselines were recorded.  Only the
-                # gate configuration earns the full repeat count.
-                n_reps = repeats if config == BLOCK_GATE["config"] else 1
-                seq_results = run_sequential()  # warm-up (plans, BLAS, caches)
-                blk = run_block()  # warm-up
-                t_seq = float("inf")
-                t_blk = float("inf")
-                for _ in range(n_reps):
-                    start = time.perf_counter()
-                    seq_results = run_sequential()
-                    t_seq = min(t_seq, time.perf_counter() - start)
-                    start = time.perf_counter()
-                    blk = run_block()
-                    t_blk = min(t_blk, time.perf_counter() - start)
+            # Interleave the sequential and block measurements so machine
+            # drift (thermal, noisy neighbours) cancels out of the ratio,
+            # as the committed --solve baselines were recorded.  Only the
+            # gate configuration earns the full repeat count.
+            n_reps = repeats if config == BLOCK_GATE["config"] else 1
+            seq_results = run_sequential()  # warm-up (plans, BLAS, caches)
+            blk = run_block()  # warm-up
+            t_seq = float("inf")
+            t_blk = float("inf")
+            for _ in range(n_reps):
+                start = time.perf_counter()
+                seq_results = run_sequential()
+                t_seq = min(t_seq, time.perf_counter() - start)
+                start = time.perf_counter()
+                blk = run_block()
+                t_blk = min(t_blk, time.perf_counter() - start)
 
-                # Correctness: every column converged on both paths and the
-                # block solutions match the sequential ones to solver
-                # tolerance (the residual criterion both paths satisfy).
-                assert all(r.converged for r in seq_results), (
-                    f"sequential {backend}/{config} did not converge"
+            # Correctness: every column converged on both paths and the
+            # block solutions match the sequential ones to solver
+            # tolerance (the residual criterion both paths satisfy).
+            assert all(r.converged for r in seq_results), (
+                f"sequential {backend}/{config} did not converge"
+            )
+            assert blk.all_converged, f"block {backend}/{config} did not converge"
+            assert float(blk.relative_residuals_fp64.max()) <= tol * 1.01, (
+                f"block {backend}/{config} residual above tolerance"
+            )
+            max_diff = max(
+                float(
+                    np.linalg.norm(blk.X[:, c] - seq_results[c].x)
+                    / np.linalg.norm(seq_results[c].x)
                 )
-                assert blk.all_converged, f"block {backend}/{config} did not converge"
-                assert float(blk.relative_residuals_fp64.max()) <= tol * 1.01, (
-                    f"block {backend}/{config} residual above tolerance"
-                )
-                max_diff = max(
-                    float(
-                        np.linalg.norm(blk.X[:, c] - seq_results[c].x)
-                        / np.linalg.norm(seq_results[c].x)
-                    )
-                    for c in range(block_size)
-                )
-                assert max_diff < 1e-5, (
-                    f"block {backend}/{config} drifted from sequential: {max_diff:.2e}"
-                )
+                for c in range(block_size)
+            )
+            assert max_diff < 1e-5, (
+                f"block {backend}/{config} drifted from sequential: {max_diff:.2e}"
+            )
 
-                key = f"{backend}/{config}"
-                speedups[key] = t_seq / t_blk
-                parity[key] = max_diff
-                common = {
-                    "benchmark": "solve_block",
-                    "backend": backend,
-                    "matrix": label,
-                    "config": config,
-                    "dtype": "double",
-                    "block_size": block_size,
-                    "tolerance": tol,
-                }
-                entries.append(
-                    dict(
-                        common,
-                        mode="sequential",
-                        solver=f"gmres({seq_restart})",
-                        wall_seconds=t_seq,
-                        per_rhs_wall_seconds=t_seq / block_size,
-                        iterations=sum(r.iterations for r in seq_results),
-                    )
+            key = f"{backend}/{config}"
+            speedups[key] = t_seq / t_blk
+            parity[key] = max_diff
+            common = {
+                "benchmark": "solve_block",
+                "backend": backend,
+                "matrix": label,
+                "config": config,
+                "dtype": "double",
+                "block_size": block_size,
+                "tolerance": tol,
+            }
+            entries.append(
+                dict(
+                    common,
+                    mode="sequential",
+                    solver=f"gmres({seq_restart})",
+                    wall_seconds=t_seq,
+                    per_rhs_wall_seconds=t_seq / block_size,
+                    iterations=sum(r.iterations for r in seq_results),
                 )
-                entries.append(
-                    dict(
-                        common,
-                        mode="block",
-                        solver=f"block-gmres({blk_restart}x{block_size})",
-                        wall_seconds=t_blk,
-                        per_rhs_wall_seconds=t_blk / block_size,
-                        iterations=int(blk.iterations.max()),
-                        block_iterations=blk.block_iterations,
-                        max_solution_diff_vs_sequential=max_diff,
-                    )
+            )
+            entries.append(
+                dict(
+                    common,
+                    mode="block",
+                    solver=f"block-gmres({blk_restart}x{block_size})",
+                    wall_seconds=t_blk,
+                    per_rhs_wall_seconds=t_blk / block_size,
+                    iterations=int(blk.iterations.max()),
+                    block_iterations=blk.block_iterations,
+                    max_solution_diff_vs_sequential=max_diff,
                 )
-                print(
-                    f"[block] {backend}/{config}: sequential {t_seq * 1e3:.0f} ms, "
-                    f"block {t_blk * 1e3:.0f} ms -> {t_seq / t_blk:.2f}x per RHS "
-                    f"(max drift {max_diff:.1e})",
-                    flush=True,
-                )
-    finally:
-        set_context(ExecutionContext())
+            )
+            print(
+                f"[block] {backend}/{config}: sequential {t_seq * 1e3:.0f} ms, "
+                f"block {t_blk * 1e3:.0f} ms -> {t_seq / t_blk:.2f}x per RHS "
+                f"(max drift {max_diff:.1e})",
+                flush=True,
+            )
 
     summary: Dict[str, object] = {
         "grid": grid,
@@ -518,6 +558,233 @@ def run_solve_block(
     return path
 
 
+#: The serving acceptance gate: with >= 8 concurrent clients on the paper's
+#: polynomial-preconditioned Laplace3D32 configuration, the batched
+#: micro-batching scheduler must serve at least this many times the RHS/s
+#: of the unbatched (block width 1) scheduler on the reference backend.
+SERVE_GATE = {
+    "backend": "numpy",
+    "matrix": "Laplace3D32",
+    "config": "poly16",
+    "clients": 8,
+    "min_speedup": 2.0,
+}
+
+#: (mode label, OperatorSession kwargs).  The unbatched scheduler serves
+#: width-1 solves with the single-RHS-tuned restart; the batched scheduler
+#: coalesces up to 8 requests with the block-tuned restart — the same two
+#: solver configurations BLOCK_GATE compares, now measured *as a service*.
+_SERVE_MODES = [
+    (
+        "unbatched",
+        dict(max_block=1, max_wait_ms=0.0, restart=50, max_restarts=10,
+             policy="sequential"),
+    ),
+    (
+        "batched",
+        dict(max_block=8, max_wait_ms=25.0, restart=15, max_restarts=60,
+             policy="block"),
+    ),
+]
+
+
+def run_serve(
+    out: Optional[pathlib.Path] = None,
+    *,
+    grid: int = 32,
+    clients: int = 8,
+    requests_per_client: int = 3,
+    tol: float = 1e-8,
+    repeats: int = 2,
+) -> pathlib.Path:
+    """Solver-service throughput benchmark → BENCH_serve.json (with gate).
+
+    Drives ``clients`` concurrent client threads against one
+    :class:`repro.serve.OperatorSession` (each client submits one
+    right-hand side at a time and waits for its future — the serving
+    workload shape), once with the unbatched width-1 scheduler and once
+    with micro-batching enabled, for every registered backend.  Records
+    RHS/s and p50/p95 queue-wait/solve/total latency from the service
+    telemetry, checks the served results, and enforces :data:`SERVE_GATE`.
+
+    Also asserts the two serving acceptance properties end to end: a
+    request served through the unbatched scheduler is *bit-identical* to
+    the session's direct ``solve()``, and a batch containing one
+    non-finite (diverging) right-hand side still completes its other
+    requests.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.config import rng
+    from repro.matrices import laplace3d
+    from repro.preconditioners.polynomial import GmresPolynomialPreconditioner
+    from repro.serve import OperatorSession
+
+    matrix = laplace3d(grid)
+    label = f"Laplace3D{grid}"
+    precond = GmresPolynomialPreconditioner(matrix, degree=16)
+    total = clients * requests_per_client
+    B = rng(2026).standard_normal((matrix.n_rows, total))
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+
+    for backend in each_backend():
+
+        def drive_clients(session, mode):
+            """Run the client fleet once; returns the wall seconds."""
+            errors: List[BaseException] = []
+
+            def client(c):
+                try:
+                    for j in range(requests_per_client):
+                        idx = c * requests_per_client + j
+                        result = session.submit(B[:, idx]).result(timeout=600)
+                        assert result.converged, (
+                            f"request {idx} ended {result.status}"
+                        )
+                        assert result.relative_residual_fp64 <= tol * 1.01
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(c,), name=f"client-{c}")
+                for c in range(clients)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - start
+            if errors:
+                raise SystemExit(
+                    f"[serve] {backend}/{mode}: client errors: {errors[:3]}"
+                )
+            return wall
+
+        # Interleave the unbatched and batched measurements across repeats
+        # so machine drift cancels out of the throughput ratio (the same
+        # discipline the --solve-block gate uses); keep each mode's best.
+        best: Dict[str, tuple] = {}
+        for _ in range(max(1, repeats)):
+            for mode, session_kwargs in _SERVE_MODES:
+                session = OperatorSession(
+                    matrix, preconditioner=precond, tol=tol, **session_kwargs
+                )
+                try:
+                    # Warm both dispatch widths through the telemetry-free
+                    # direct path so the timed window measures steady state.
+                    session.solve(B[:, 0])
+                    if session.max_block > 1:
+                        session.solve_many(B[:, : session.max_block])
+                    wall = drive_clients(session, mode)
+                    stats = session.stats()
+
+                    # Bit-parity acceptance: unbatched served == direct.
+                    if mode == "unbatched":
+                        served = session.submit(B[:, 0]).result(timeout=600)
+                        direct = session.solve(B[:, 0])
+                        assert np.array_equal(served.x, direct.x), (
+                            f"[serve] {backend}: served result drifted from "
+                            "the direct solve path"
+                        )
+                    # Divergence isolation: a NaN request fails alone while
+                    # the good requests sharing the window complete.
+                    if mode == "batched":
+                        good = [session.submit(B[:, c]) for c in range(3)]
+                        bad = session.submit(np.full(matrix.n_rows, np.nan))
+                        assert all(g.result(timeout=600).converged for g in good)
+                        try:
+                            bad.result(timeout=600)
+                            raise SystemExit(
+                                f"[serve] {backend}: non-finite request "
+                                "did not fail"
+                            )
+                        except ValueError:
+                            pass
+                finally:
+                    session.close()
+                assert stats.requests_completed >= total
+                if mode not in best or wall < best[mode][0]:
+                    best[mode] = (wall, stats)
+
+        throughput: Dict[str, float] = {}
+        for mode, session_kwargs in _SERVE_MODES:
+            wall, stats = best[mode]
+            rps = total / wall
+            throughput[mode] = rps
+            entries.append(
+                {
+                    "benchmark": "serve",
+                    "backend": backend,
+                    "matrix": label,
+                    "config": "poly16",
+                    "dtype": "double",
+                    "mode": mode,
+                    "clients": clients,
+                    "requests": total,
+                    "tolerance": tol,
+                    "max_block": session_kwargs["max_block"],
+                    "max_wait_ms": session_kwargs["max_wait_ms"],
+                    "restart": session_kwargs["restart"],
+                    "wall_seconds": wall,
+                    "rhs_per_second": rps,
+                    "queue_wait_p50_ms": stats.queue_wait.p50_ms,
+                    "queue_wait_p95_ms": stats.queue_wait.p95_ms,
+                    "solve_p50_ms": stats.solve.p50_ms,
+                    "solve_p95_ms": stats.solve.p95_ms,
+                    "latency_p50_ms": stats.latency.p50_ms,
+                    "latency_p95_ms": stats.latency.p95_ms,
+                    "mean_batch_occupancy": stats.mean_batch_occupancy,
+                    "batch_occupancy": {
+                        str(k): v for k, v in sorted(stats.batch_occupancy.items())
+                    },
+                    "block_iterations": stats.block_iterations,
+                }
+            )
+            print(
+                f"[serve] {backend}/{mode}: {total} requests from {clients} "
+                f"clients in {wall:.2f} s -> {rps:.1f} RHS/s "
+                f"(latency p50 {stats.latency.p50_ms:.0f} ms / "
+                f"p95 {stats.latency.p95_ms:.0f} ms, mean occupancy "
+                f"{stats.mean_batch_occupancy:.1f})",
+                flush=True,
+            )
+        speedups[backend] = throughput["batched"] / throughput["unbatched"]
+        print(
+            f"[serve] {backend}: batched/unbatched throughput "
+            f"{speedups[backend]:.2f}x",
+            flush=True,
+        )
+
+    summary: Dict[str, object] = {
+        "grid": grid,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "tolerance": tol,
+        "gate": dict(SERVE_GATE),
+        "throughput_speedup_batched_over_unbatched": speedups,
+    }
+    path = write_bench_json("serve", entries, summary=summary, out=out)
+    print(f"[serve] wrote {path}")
+
+    gate_speedup = speedups.get(SERVE_GATE["backend"], 0.0)
+    if gate_speedup < SERVE_GATE["min_speedup"]:
+        print(
+            f"[serve] FAIL gate: {SERVE_GATE['backend']} batched serving "
+            f"{gate_speedup:.2f}x < {SERVE_GATE['min_speedup']}x RHS/s",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(
+        f"[serve] gate holds: {SERVE_GATE['backend']} batched serving "
+        f"{gate_speedup:.2f}x >= {SERVE_GATE['min_speedup']}x RHS/s"
+    )
+    return path
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="repro benchmark harness CLI")
     parser.add_argument(
@@ -542,7 +809,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "per-RHS gate (BENCH_block.json)",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the solver-service throughput benchmark with its >=2x "
+        "batched-vs-unbatched RHS/s gate (BENCH_serve.json)",
+    )
+    parser.add_argument(
         "--grid", type=int, default=64, help="Laplace3D grid for --backends"
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads for --serve",
     )
     parser.add_argument(
         "--out",
@@ -551,10 +830,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the output path (only valid with exactly one mode)",
     )
     args = parser.parse_args(argv)
-    modes = [args.smoke, args.backends, args.solve, args.solve_block]
+    modes = [args.smoke, args.backends, args.solve, args.solve_block, args.serve]
     if not any(modes):
         parser.error(
-            "choose at least one of --smoke / --backends / --solve / --solve-block"
+            "choose at least one of --smoke / --backends / --solve / "
+            "--solve-block / --serve"
         )
     if args.out is not None and sum(modes) > 1:
         parser.error("--out is ambiguous with more than one mode")
@@ -566,6 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_solve(out=args.out)
     if args.solve_block:
         run_solve_block(out=args.out)
+    if args.serve:
+        run_serve(out=args.out, clients=args.clients)
     return 0
 
 

@@ -38,12 +38,12 @@ from __future__ import annotations
 import numpy as np
 
 from . import config, precision, perfmodel, backends, sparse, linalg, matrices, ortho
-from . import preconditioners, solvers, analysis, experiments
+from . import preconditioners, solvers, analysis, experiments, serve
 from .backends import KernelBackend, available_backends, get_backend, register_backend
 from .config import ReproConfig, get_config, set_config
 from .precision import HALF, SINGLE, DOUBLE, Precision, as_precision
 from .sparse import CsrMatrix
-from .linalg import MultiVector, use_device, use_backend
+from .linalg import MultiVector, use_context, use_device, use_backend
 from .perfmodel import KernelTimer, use_timer, DeviceSpec, get_device
 from .solvers import (
     SolveResult,
@@ -65,6 +65,14 @@ from .preconditioners import (
     GmresPolynomialPreconditioner,
     make_preconditioner,
 )
+from .serve import (
+    OperatorSession,
+    SolveScheduler,
+    ServeResult,
+    BatchingPolicy,
+    ServeStats,
+    ServeTelemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -83,6 +91,7 @@ __all__ = [
     "solvers",
     "analysis",
     "experiments",
+    "serve",
     # configuration / precision
     "ReproConfig",
     "get_config",
@@ -103,6 +112,7 @@ __all__ = [
     "MultiVector",
     "KernelTimer",
     "use_timer",
+    "use_context",
     "use_device",
     "DeviceSpec",
     "get_device",
@@ -124,6 +134,13 @@ __all__ = [
     "BlockJacobiPreconditioner",
     "GmresPolynomialPreconditioner",
     "make_preconditioner",
+    # serving
+    "OperatorSession",
+    "SolveScheduler",
+    "ServeResult",
+    "BatchingPolicy",
+    "ServeStats",
+    "ServeTelemetry",
     # helpers
     "ones_rhs",
 ]

@@ -54,6 +54,20 @@ class ReproConfig:
         Name of the kernel backend the execution context dispatches to
         (see :mod:`repro.backends`).  Defaults to the ``REPRO_BACKEND``
         environment variable, falling back to the NumPy reference.
+    serve_max_block:
+        Default micro-batch width cap of the solver service layer
+        (:mod:`repro.serve`): the scheduler dispatches at most this many
+        coalesced right-hand sides per batched solve.
+    serve_max_wait_ms:
+        Default micro-batching window in milliseconds: a queued request is
+        dispatched once this much time has passed since the oldest waiting
+        request arrived, even if the batch is not full.  ``0`` disables
+        coalescing-by-waiting (requests still batch when they are already
+        queued together).
+    serve_policy:
+        Default batching policy mode of the service layer: ``"auto"``
+        consults the kernel cost model per operator, ``"block"`` always
+        batches to the width cap, ``"sequential"`` forces width-1 solves.
     """
 
     rtol: float = 1e-10
@@ -63,6 +77,9 @@ class ReproConfig:
     seed: int = 20210516  # arXiv submission date of the paper
     meter_kernels: bool = True
     backend: str = field(default_factory=_default_backend)
+    serve_max_block: int = 8
+    serve_max_wait_ms: float = 2.0
+    serve_policy: str = "auto"
 
 
 _DEFAULT = ReproConfig()

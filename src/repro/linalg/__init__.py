@@ -15,7 +15,14 @@ paper: it owns the block of Krylov basis vectors and exposes the block
 operations (``V^T w``, ``w -= V y``) that dominate orthogonalization cost.
 """
 
-from .context import ExecutionContext, get_context, set_context, use_device, use_backend
+from .context import (
+    ExecutionContext,
+    get_context,
+    set_context,
+    use_context,
+    use_device,
+    use_backend,
+)
 from .multivector import MultiVector
 from . import kernels
 from . import dense
@@ -24,6 +31,7 @@ __all__ = [
     "ExecutionContext",
     "get_context",
     "set_context",
+    "use_context",
     "use_device",
     "use_backend",
     "MultiVector",

@@ -9,10 +9,19 @@ Experiments that run scaled-down problems install a *scaled* device (see
 :meth:`repro.perfmodel.device.DeviceSpec.scaled`) so that the modelled
 time breakdown of the small problem matches the breakdown the full-size
 problem would have on the real device.
+
+Threading model (the contract :mod:`repro.serve` builds on): the context
+installed with :func:`set_context` is *process-global* — every thread that
+has not installed its own override sees it.  The scoped managers
+(:func:`use_context`, :func:`use_device`, :func:`use_backend`) install a
+**thread-local** override: they affect only the calling thread, nest, and
+unwind on exceptions, so a service dispatcher can pin its session's
+context without perturbing clients running solves on other threads.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
@@ -26,6 +35,7 @@ __all__ = [
     "ExecutionContext",
     "get_context",
     "set_context",
+    "use_context",
     "use_device",
     "use_backend",
 ]
@@ -94,22 +104,60 @@ class ExecutionContext:
         )
 
 
-_CONTEXT: Optional[ExecutionContext] = None
+#: Process-global default context, shared by every thread without an override.
+_GLOBAL_CONTEXT: Optional[ExecutionContext] = None
+
+#: Per-thread override slot installed by the scoped context managers.
+_TLS = threading.local()
+
+
+def _thread_override() -> Optional[ExecutionContext]:
+    return getattr(_TLS, "context", None)
 
 
 def get_context() -> ExecutionContext:
-    """Return the active execution context (created lazily from the config)."""
-    global _CONTEXT
-    if _CONTEXT is None:
-        _CONTEXT = ExecutionContext()
-    return _CONTEXT
+    """Return the active execution context.
+
+    The calling thread's scoped override (installed by :func:`use_context`,
+    :func:`use_device` or :func:`use_backend`) wins; otherwise the
+    process-global context is returned, created lazily from the config.
+    """
+    override = _thread_override()
+    if override is not None:
+        return override
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None:
+        _GLOBAL_CONTEXT = ExecutionContext()
+    return _GLOBAL_CONTEXT
 
 
 def set_context(context: Optional[ExecutionContext] = None, **kwargs) -> ExecutionContext:
-    """Install a new execution context (or build one from keyword args)."""
-    global _CONTEXT
-    _CONTEXT = context if context is not None else ExecutionContext(**kwargs)
-    return _CONTEXT
+    """Install a new *process-global* execution context.
+
+    Either pass a context or keyword arguments to build one.  Threads that
+    are inside a scoped override (:func:`use_context` and friends) keep
+    their override until it unwinds.
+    """
+    global _GLOBAL_CONTEXT
+    _GLOBAL_CONTEXT = context if context is not None else ExecutionContext(**kwargs)
+    return _GLOBAL_CONTEXT
+
+
+@contextmanager
+def use_context(context: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Install ``context`` as this thread's scoped override.
+
+    The building block of the scoped switches (and of
+    :class:`repro.serve.OperatorSession`, whose dispatcher pins the
+    session's context for the duration of each batch without touching what
+    other threads see).  Nests; restores the previous override on exit.
+    """
+    previous = _thread_override()
+    _TLS.context = context
+    try:
+        yield context
+    finally:
+        _TLS.context = previous
 
 
 @contextmanager
@@ -119,35 +167,32 @@ def use_device(
     meter: Optional[bool] = None,
     cache_config: Optional[CacheConfig] = None,
 ) -> Iterator[ExecutionContext]:
-    """Temporarily switch the modelled device (context manager).
+    """Temporarily switch the modelled device (thread-scoped context manager).
 
     The kernel backend of the enclosing context is preserved, including
     its pinned-vs-config-lazy state.
     """
-    global _CONTEXT
-    previous = _CONTEXT
-    _CONTEXT = ExecutionContext(
+    enclosing = _thread_override() or _GLOBAL_CONTEXT
+    context = ExecutionContext(
         device,
         meter=meter,
         cache_config=cache_config,
-        backend=previous._backend if previous is not None else None,
+        backend=enclosing._backend if enclosing is not None else None,
     )
-    try:
-        yield _CONTEXT
-    finally:
-        _CONTEXT = previous
+    with use_context(context):
+        yield context
 
 
 @contextmanager
 def use_backend(
     backend: Union[str, KernelBackend],
 ) -> Iterator[ExecutionContext]:
-    """Temporarily switch the kernel backend (context manager).
+    """Temporarily switch the kernel backend (thread-scoped context manager).
 
     Device, metering flag and cost model of the enclosing context are kept;
-    only the dispatch target changes.
+    only the dispatch target changes.  Only the calling thread is affected,
+    and nested switches unwind in LIFO order.
     """
-    global _CONTEXT
     previous = get_context()
     context = ExecutionContext(
         previous.device,
@@ -155,8 +200,5 @@ def use_backend(
         backend=backend,
         cost_model=previous.cost_model,
     )
-    _CONTEXT = context
-    try:
+    with use_context(context):
         yield context
-    finally:
-        _CONTEXT = previous

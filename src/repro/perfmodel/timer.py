@@ -20,6 +20,7 @@ same records, via :func:`use_timer`.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -243,22 +244,36 @@ class KernelTimer:
 # Active-timer stack.  Kernels record into *all* timers on the stack so   #
 # that a solver-local timer and an experiment-wide timer both see the     #
 # same calls.                                                             #
+#                                                                         #
+# The stack is *thread-local*: a timer pushed on one thread observes only #
+# that thread's kernel calls.  This lets the serve-layer dispatcher meter #
+# its batched solves without leaking records into experiment timers       #
+# running concurrently on client threads (and vice versa).                #
+# Single-threaded behaviour is unchanged.                                 #
 # ---------------------------------------------------------------------- #
-_TIMER_STACK: List[KernelTimer] = []
+_TLS = threading.local()
+
+
+def _stack() -> List[KernelTimer]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
 
 
 def active_timer() -> Optional[KernelTimer]:
-    """The innermost active timer, or ``None`` when metering is off."""
-    return _TIMER_STACK[-1] if _TIMER_STACK else None
+    """The innermost active timer of this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 def active_timers() -> List[KernelTimer]:
-    """All timers currently on the stack (outermost first)."""
-    return list(_TIMER_STACK)
+    """All timers currently on this thread's stack (outermost first)."""
+    return list(_stack())
 
 
 def timers_active() -> bool:
-    """True when at least one timer is on the stack.
+    """True when at least one timer is on the calling thread's stack.
 
     The instrumented kernels probe this before touching ``perf_counter`` or
     the cost model: a solve with no observer (and metering disabled) runs
@@ -266,18 +281,19 @@ def timers_active() -> bool:
     Unlike :func:`active_timers` this allocates no list, so it is safe to
     call once per kernel invocation.
     """
-    return bool(_TIMER_STACK)
+    return bool(getattr(_TLS, "stack", None))
 
 
 def push_timer(timer: KernelTimer) -> KernelTimer:
-    _TIMER_STACK.append(timer)
+    _stack().append(timer)
     return timer
 
 
 def pop_timer() -> KernelTimer:
-    if not _TIMER_STACK:
+    stack = _stack()
+    if not stack:
         raise RuntimeError("timer stack is empty")
-    return _TIMER_STACK.pop()
+    return stack.pop()
 
 
 @contextmanager

@@ -1,0 +1,63 @@
+"""repro.serve — the solver service layer.
+
+The paper evaluates mixed-precision GMRES as a *kernel*; the roadmap's
+north star is served throughput.  This package is the layer between the
+two: it turns the batched multi-RHS capability of
+:func:`repro.solvers.block_gmres.solve_many` (one SpMM per block iteration,
+BLAS-3 orthogonalization) into a service for the realistic workload shape —
+many independent clients, each submitting one right-hand side against a
+shared operator.
+
+Pieces
+------
+:class:`OperatorSession`
+    Registers a matrix + solver configuration once and owns the expensive
+    amortizable state: pinned backend context, cached backend plans,
+    preconditioner setup, a per-width pool of allocation-free Krylov
+    workspaces, and the scheduler.
+:class:`SolveScheduler`
+    Thread-safe micro-batching queue: ``session.submit(b)`` returns a
+    ``Future``; waiting requests are coalesced up to ``max_block`` wide or
+    ``max_wait_ms`` old (whichever first), dispatched as **one** batched
+    solve, and the per-column results are demultiplexed back to the
+    futures — including per-column failure statuses, so one diverging
+    right-hand side cannot fail its batchmates.
+:class:`BatchingPolicy`
+    Decides sequential-vs-block and the dispatch width per operator from
+    the analytic kernel cost model (SpMM vs ``k`` SpMVs, GEMM vs ``k``
+    GEMVs); overridable via ``ReproConfig.serve_policy``.
+:class:`ServeTelemetry` / :class:`ServeStats`
+    Per-request queue-wait/solve latency, batch-occupancy histogram and
+    throughput counters, snapshotted as an immutable dataclass (dumped by
+    ``benchmarks/_harness.py --serve`` into ``BENCH_serve.json``).
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    A = repro.matrices.laplace3d(32)
+    M = repro.GmresPolynomialPreconditioner(A, degree=16)
+    with repro.serve.OperatorSession(
+        A, preconditioner=M, restart=15, tol=1e-8, max_block=8
+    ) as session:
+        futures = [session.submit(np.random.rand(A.n_rows)) for _ in range(32)]
+        results = [f.result() for f in futures]
+        print(session.stats().as_dict())
+"""
+
+from .policy import BatchingPolicy, POLICY_MODES
+from .scheduler import ServeResult, SolveScheduler
+from .session import OperatorSession
+from .telemetry import LatencySummary, ServeStats, ServeTelemetry
+
+__all__ = [
+    "OperatorSession",
+    "SolveScheduler",
+    "ServeResult",
+    "BatchingPolicy",
+    "POLICY_MODES",
+    "ServeTelemetry",
+    "ServeStats",
+    "LatencySummary",
+]

@@ -1,0 +1,352 @@
+"""Micro-batching scheduler: coalesce single-RHS requests into block solves.
+
+The serving workload the roadmap targets is many independent clients, each
+submitting *one* right-hand side against a shared operator.  Block-GMRES
+(PR 3) only pays off when right-hand sides arrive in blocks, so this module
+supplies the missing coupling: a thread-safe queue plus one dispatcher
+thread that
+
+1. waits for the first request, then keeps collecting until either
+   ``max_block`` requests are waiting or ``max_wait_ms`` has elapsed since
+   the *oldest* waiting request arrived (whichever comes first);
+2. asks the :class:`~repro.serve.policy.BatchingPolicy` how wide the
+   dispatch should be, assembles the column block, and runs **one**
+   batched solve through the session (one SpMM per block iteration for the
+   whole batch);
+3. demultiplexes the :class:`~repro.solvers.result.MultiSolveResult` back
+   into the per-request futures — each client gets its own column, with
+   its own terminal status.
+
+Failure isolation: a request that fails *validation* (wrong shape,
+non-finite entries — which would poison the shared Krylov basis of every
+batchmate) is rejected at ``submit()`` time and never enters a batch.  A
+request that merely fails to *converge* resolves successfully with a
+non-``CONVERGED`` status while its batchmates complete normally (the block
+solver tracks per-column statuses and deflates converged columns).  On
+top of that, a column that did not converge *inside a batch* is retried
+once through the width-1 canonical path before its future resolves
+(unless the session disables ``retry_failed``): a batch of linearly
+dependent right-hand sides — e.g. several clients submitting the same
+vector — is rank-deficient as a block and can defeat the shared-basis
+solver even though every column alone is easy, so the sequential retry
+turns a batching artefact into at most one extra solve.  Only an
+unexpected solver exception fails the batch it was part of.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..solvers.result import ConvergenceHistory, SolveResult, SolverStatus
+from .telemetry import ServeStats, ServeTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .session import OperatorSession
+
+__all__ = ["ServeResult", "SolveScheduler"]
+
+
+@dataclass
+class ServeResult:
+    """What a client's future resolves to: one column plus serving metadata.
+
+    The solver fields mirror :class:`~repro.solvers.result.SolveResult`
+    (``solve_result`` holds the full per-column object, shared timer and
+    all); the serving fields say how the request travelled through the
+    scheduler.
+    """
+
+    x: np.ndarray
+    status: SolverStatus
+    iterations: int
+    relative_residual: float
+    relative_residual_fp64: float
+    history: ConvergenceHistory
+    solve_result: SolveResult
+    #: seconds the request waited in the queue before dispatch
+    queue_wait_seconds: float
+    #: wall seconds of the batched solve the request rode in
+    solve_seconds: float
+    #: how many requests shared the batch (1 = unbatched dispatch)
+    batch_size: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return self.status == SolverStatus.CONVERGED
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submit-to-resolution latency as the client experienced it."""
+        return self.queue_wait_seconds + self.solve_seconds
+
+
+class _PendingRequest:
+    __slots__ = ("b", "future", "enqueued_at")
+
+    def __init__(self, b: np.ndarray) -> None:
+        self.b = b
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+class SolveScheduler:
+    """Thread-safe micro-batching front of one :class:`OperatorSession`.
+
+    Parameters
+    ----------
+    session:
+        The owning session; the scheduler calls its ``_solve_block`` for
+        each dispatch (pinned context, pooled workspaces).
+    max_block:
+        Queue capacity per batch — at most this many requests ride in one
+        dispatch (also the cap the policy works under).
+    max_wait_ms:
+        Micro-batching window: a waiting request is dispatched at most
+        this many milliseconds after it became the oldest in the queue,
+        full batch or not.  The latency/throughput dial: larger windows
+        coalesce sparser traffic into wider (cheaper per RHS) blocks at
+        the price of queue-wait latency.
+    policy:
+        :class:`~repro.serve.policy.BatchingPolicy` consulted per dispatch.
+    telemetry:
+        Optional shared :class:`ServeTelemetry` (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        session: "OperatorSession",
+        *,
+        max_block: int,
+        max_wait_ms: float,
+        policy,
+        telemetry: Optional[ServeTelemetry] = None,
+    ) -> None:
+        if max_block < 1:
+            raise ValueError("max_block must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self._session = session
+        self.max_block = int(max_block)
+        self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        self._queue: Deque[_PendingRequest] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._run,
+            name=f"repro-serve-dispatcher-{session.name}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # client side                                                        #
+    # ------------------------------------------------------------------ #
+    def submit(self, b: np.ndarray) -> "Future[ServeResult]":
+        """Enqueue one right-hand side; returns a future of its result.
+
+        Validation happens here, synchronously, so a malformed request is
+        rejected *before* it can share a Krylov basis with anyone else:
+        its future fails with ``ValueError`` and no batchmate sees it.
+        """
+        try:
+            column = self._validated_column(b)
+        except ValueError as exc:
+            failed: Future = Future()
+            failed.set_exception(exc)
+            self.telemetry.record_rejected()
+            return failed
+        request = _PendingRequest(column)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("scheduler is closed; no new requests accepted")
+            self._queue.append(request)
+            self._wakeup.notify_all()
+        self.telemetry.record_submitted()
+        return request.future
+
+    def _validated_column(self, b: np.ndarray) -> np.ndarray:
+        # One validation path for both entry points (see
+        # OperatorSession.validate_rhs): shape normalization, the
+        # non-finite rejection, and the defensive copy.
+        return self._session.validate_rhs(b)
+
+    def stats(self) -> ServeStats:
+        """Current :class:`ServeStats` snapshot."""
+        return self.telemetry.snapshot()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in the queue."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # shutdown                                                           #
+    # ------------------------------------------------------------------ #
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests and shut the dispatcher down.
+
+        ``drain=True`` (default) lets already-queued requests complete;
+        ``drain=False`` fails them with :class:`RuntimeError`.
+        """
+        with self._wakeup:
+            if self._closed and not self._dispatcher.is_alive():
+                return
+            self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            else:
+                abandoned = []
+            self._wakeup.notify_all()
+        for request in abandoned:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    RuntimeError("scheduler closed before the request was served")
+                )
+        if threading.current_thread() is not self._dispatcher:
+            self._dispatcher.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # dispatcher                                                         #
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            if batch:
+                self._dispatch(batch)
+
+    def _collect_batch(self) -> Optional[List[_PendingRequest]]:
+        """Block until a batch is due; pop and return it (None = shut down)."""
+        with self._wakeup:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wakeup.wait()
+            # Micro-batching window: measured from when the dispatcher
+            # starts assembling this batch (it may already hold requests
+            # that queued up during the previous solve).  A fresh window
+            # per batch lets the in-flight clients' follow-up requests
+            # coalesce with the ones that waited, instead of locking the
+            # traffic into two alternating half-width cohorts; each batch
+            # adds at most one max_wait_ms window on top of the in-flight
+            # solve to any request's wait.  When more arrivals cannot
+            # change the dispatch (width-1 scheduler, sequential policy)
+            # the window is pure latency, so it is skipped.
+            can_batch = self.max_block > 1 and getattr(
+                self.policy, "mode", "auto"
+            ) != "sequential"
+            if can_batch:
+                deadline = time.perf_counter() + self.max_wait_seconds
+                while len(self._queue) < self.max_block and not self._closed:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(timeout=remaining)
+            if not self._queue:
+                # close(drain=False) emptied the queue mid-window; hand
+                # control back to the outer loop (which exits if closed).
+                return None if self._closed else []
+            width = self.policy.block_width(len(self._queue))
+            popped = [self._queue.popleft() for _ in range(width)]
+        batch = []
+        for request in popped:
+            # Transition the future to RUNNING; a client that cancelled
+            # while queued is dropped here and never enters the block.
+            if request.future.set_running_or_notify_cancel():
+                batch.append(request)
+        return batch
+
+    def _dispatch(self, batch: List[_PendingRequest]) -> None:
+        dispatched_at = time.perf_counter()
+        queue_waits = [dispatched_at - r.enqueued_at for r in batch]
+        width = len(batch)
+        B = np.empty((self._session.n_rows, width), dtype=np.float64, order="F")
+        for c, request in enumerate(batch):
+            B[:, c] = request.b
+
+        failed = 0
+        retried = 0
+        try:
+            start = time.perf_counter()
+            multi = self._session._solve_block(B)
+            solve_seconds = time.perf_counter() - start
+            columns = multi.split()
+            solve_times = [solve_seconds] * width
+            retry_errors: Dict[int, BaseException] = {}
+            if width > 1 and self._session.retry_failed:
+                for c, column in enumerate(columns):
+                    if column.status == SolverStatus.CONVERGED:
+                        continue
+                    # Batch-failure containment: re-solve the column alone
+                    # through the width-1 canonical path (see module doc).
+                    # A retry failure is attributable to exactly this
+                    # request, so it must not touch the batchmates.
+                    start = time.perf_counter()
+                    try:
+                        retry = self._session._solve_block(
+                            np.asfortranarray(B[:, c : c + 1])
+                        ).split()[0]
+                    except Exception as exc:  # noqa: BLE001 - per-column
+                        retry_errors[c] = exc
+                    else:
+                        retry.details["retried_sequential"] = True
+                        columns[c] = retry
+                    solve_times[c] += time.perf_counter() - start
+                    retried += 1
+        except Exception as exc:  # noqa: BLE001 - forwarded to the futures
+            solve_seconds = time.perf_counter() - dispatched_at
+            solve_times = [solve_seconds] * width
+            failed = width
+            for request in batch:
+                request.future.set_exception(exc)
+        else:
+            for c, request in enumerate(batch):
+                column = columns[c]
+                details: Dict[str, object] = {
+                    "block_iterations": multi.block_iterations
+                }
+                if c in retry_errors:
+                    # The retry itself blew up: the request still resolves
+                    # with its (non-converged) batch result; only the
+                    # retry error is recorded for this one column.
+                    details["retry_error"] = repr(retry_errors[c])
+                request.future.set_result(
+                    ServeResult(
+                        x=column.x,
+                        status=column.status,
+                        iterations=column.iterations,
+                        relative_residual=column.relative_residual,
+                        relative_residual_fp64=column.relative_residual_fp64,
+                        history=column.history,
+                        solve_result=column,
+                        queue_wait_seconds=queue_waits[c],
+                        solve_seconds=solve_times[c],
+                        batch_size=width,
+                        details=details,
+                    )
+                )
+        self.telemetry.record_batch(
+            queue_waits,
+            solve_times,
+            block_iterations=0 if failed else multi.block_iterations,
+            failed=failed,
+            retried=retried,
+        )

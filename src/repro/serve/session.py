@@ -1,0 +1,467 @@
+"""Operator sessions: register a matrix once, serve many right-hand sides.
+
+An :class:`OperatorSession` owns everything about a solver configuration
+that is expensive and amortizable across requests, so that the per-request
+cost is just the solve itself:
+
+* the **pinned execution context** — backend handle, device cost model and
+  metering flag are captured at construction, so the session keeps serving
+  with the same backend even if another thread later flips the global
+  context (the dispatcher installs the pinned context thread-locally per
+  dispatch, see :func:`repro.linalg.context.use_context`);
+* the **working-precision matrix copies** and the backend's cached
+  per-matrix plans (SciPy handles, DIA/SpMM plans, row geometry), built
+  eagerly by a warm-up pass instead of lazily on the first paying request;
+* the **preconditioner**, set up once and pre-wrapped for the working
+  precision;
+* a **per-width pool of Krylov workspaces** — a
+  :class:`~repro.solvers.gmres.GmresWorkspace` for the width-1 path and
+  :class:`~repro.solvers.block_gmres.BlockGmresWorkspace` per block width
+  — so dispatches reuse pooled Krylov storage, extending the PR-2
+  allocation-free contract across whole solves (a steady-state dispatch
+  allocates no basis memory);
+* the **micro-batching scheduler** (:class:`~repro.serve.scheduler.SolveScheduler`)
+  and its telemetry.
+
+Solves are serialized on a session-level lock — the modelled device is one
+GPU, and the pooled workspaces are shared mutable state — so concurrent
+``submit()`` and direct ``solve()`` calls are safe from any thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..config import get_config
+from ..linalg.context import ExecutionContext, get_context, use_context
+from ..precision import Precision, as_precision
+from ..preconditioners.base import Preconditioner
+from ..preconditioners.mixed import wrap_for_precision
+from ..solvers.block_gmres import BlockGmresWorkspace, block_gmres, block_gmres_ir
+from ..solvers.gmres import GmresWorkspace, gmres
+from ..solvers.gmres_ir import gmres_ir
+from ..solvers.result import MultiSolveResult, SolveResult
+from ..sparse.csr import CsrMatrix
+from .policy import BatchingPolicy
+from .scheduler import SolveScheduler
+from .telemetry import ServeStats, ServeTelemetry
+
+__all__ = ["OperatorSession"]
+
+
+class OperatorSession:
+    """A served operator: matrix + solver config registered once.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix shared by every request of this session.
+    method:
+        ``"gmres"`` (Block-GMRES in one working precision) or
+        ``"gmres-ir"`` (blocked mixed-precision iterative refinement).
+    precision:
+        Working precision (for ``"gmres-ir"``: the *outer* precision).
+    inner_precision:
+        Inner precision of ``"gmres-ir"`` (ignored otherwise).
+    restart / tol / max_restarts:
+        Solver configuration, defaulting from :class:`~repro.config.ReproConfig`
+        exactly like the direct solver entry points.
+    ortho / block_ortho:
+        Orthogonalization for the width-1 path (``"cgs2"``, the
+        single-vector default) and the batched path (``"bcgs2"``).
+    preconditioner:
+        Optional right preconditioner.  Constructed by the caller (its
+        setup cost is paid once, outside any request); the session
+        pre-wraps it for the working precision.
+    meter:
+        Whether served solves run with kernel metering (default off — a
+        service wants wall-clock throughput, not modelled breakdowns; the
+        per-request telemetry is independent of this flag).
+    fp64_check:
+        Recompute each column's final residual in fp64 (one extra SpMV per
+        request; on by default because served results advertise it).
+    retry_failed:
+        Re-solve a column that did not converge inside a batch through the
+        width-1 path before resolving its future (default on).  A batch of
+        linearly dependent right-hand sides is rank-deficient as a block
+        and can defeat the shared-basis solver even though each column
+        alone is easy; the retry contains that batching artefact at the
+        cost of one extra sequential solve.  Disable to surface raw batch
+        statuses.
+    max_block / max_wait_ms / policy:
+        Micro-batching knobs, defaulting from ``ReproConfig.serve_max_block``
+        / ``serve_max_wait_ms`` / ``serve_policy``.  ``policy`` accepts a
+        mode string (``"auto"`` / ``"block"`` / ``"sequential"``) or a
+        ready :class:`~repro.serve.policy.BatchingPolicy`.
+    warmup:
+        Run the plan-building warm-up at construction (default True).
+    solver_kwargs:
+        Extra keyword arguments forwarded verbatim to the block driver
+        (e.g. ``stagnation=...``, ``refine_every=...``).
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        *,
+        method: str = "gmres",
+        precision: Union[str, Precision] = "double",
+        inner_precision: Union[str, Precision] = "single",
+        restart: Optional[int] = None,
+        tol: Optional[float] = None,
+        max_restarts: Optional[int] = None,
+        preconditioner: Optional[Preconditioner] = None,
+        ortho: str = "cgs2",
+        block_ortho: str = "bcgs2",
+        meter: bool = False,
+        fp64_check: bool = True,
+        retry_failed: bool = True,
+        max_block: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        policy: Union[str, BatchingPolicy, None] = None,
+        telemetry: Optional[ServeTelemetry] = None,
+        name: Optional[str] = None,
+        warmup: bool = True,
+        **solver_kwargs,
+    ) -> None:
+        if method not in ("gmres", "gmres-ir"):
+            raise ValueError(
+                f"unknown method {method!r}; choose 'gmres' or 'gmres-ir'"
+            )
+        cfg = get_config()
+        self.method = method
+        self.restart = cfg.restart if restart is None else int(restart)
+        self.tol = cfg.rtol if tol is None else float(tol)
+        self.max_restarts = cfg.max_restarts if max_restarts is None else int(max_restarts)
+        self.max_block = cfg.serve_max_block if max_block is None else int(max_block)
+        if self.max_block < 1:
+            raise ValueError("max_block must be at least 1")
+        wait = cfg.serve_max_wait_ms if max_wait_ms is None else float(max_wait_ms)
+        self.retry_failed = bool(retry_failed)
+        self.name = name or f"serve-{matrix.name or 'operator'}"
+
+        # Pin the execution context: resolve the (possibly config-lazy)
+        # backend of the *current* context into an explicit instance, so
+        # the session keeps dispatching to it for its whole lifetime.
+        base = get_context()
+        self.context = ExecutionContext(
+            base.device,
+            meter=meter,
+            backend=base.backend,
+            cost_model=base.cost_model,
+        )
+
+        outer = as_precision(precision)
+        inner = as_precision(inner_precision)
+        shared_kwargs = dict(
+            restart=self.restart,
+            tol=self.tol,
+            max_restarts=self.max_restarts,
+            fp64_check=fp64_check,
+            **solver_kwargs,
+        )
+        if method == "gmres":
+            self._work_precision = outer
+            self._matrices: List[CsrMatrix] = [matrix.astype(outer)]
+            self._matrix = self._matrices[0]
+            wrapped = (
+                wrap_for_precision(preconditioner, outer)
+                if preconditioner is not None
+                else None
+            )
+            self._single_driver = gmres
+            self._block_driver = block_gmres
+            precision_kwargs = dict(precision=outer)
+        else:
+            self._work_precision = inner  # Krylov workspaces live here
+            self._matrices = [matrix.astype(outer), matrix.astype(inner)]
+            self._matrix = self._matrices[0]
+            wrapped = (
+                wrap_for_precision(preconditioner, inner)
+                if preconditioner is not None
+                else None
+            )
+            self._single_driver = gmres_ir
+            self._block_driver = block_gmres_ir
+            precision_kwargs = dict(inner_precision=inner, outer_precision=outer)
+        self.preconditioner = wrapped
+        self._single_kwargs = dict(
+            shared_kwargs,
+            preconditioner=wrapped,
+            ortho=ortho,
+            **precision_kwargs,
+        )
+        self._block_kwargs = dict(
+            shared_kwargs,
+            preconditioner=wrapped,
+            ortho=block_ortho,
+            **precision_kwargs,
+        )
+
+        spmvs_per_iteration = 1 + (
+            wrapped.spmvs_per_apply() if wrapped is not None else 0
+        )
+        if isinstance(policy, BatchingPolicy):
+            self.policy = policy
+        else:
+            mode = policy if policy is not None else cfg.serve_policy
+            self.policy = BatchingPolicy(
+                self._matrix,
+                self.context.cost_model,
+                max_block=self.max_block,
+                mode=mode,
+                precision=self._work_precision,
+                basis_columns=self.restart,
+                spmvs_per_iteration=spmvs_per_iteration,
+            )
+
+        self._workspaces: Dict[int, BlockGmresWorkspace] = {}
+        self._single_workspace: Optional[GmresWorkspace] = None
+        self._solve_lock = threading.Lock()
+        self._closed = False
+        if warmup:
+            self._warmup()
+        self.scheduler = SolveScheduler(
+            self,
+            max_block=self.max_block,
+            max_wait_ms=wait,
+            policy=self.policy,
+            telemetry=telemetry,
+        )
+
+    # ------------------------------------------------------------------ #
+    # shape / state queries                                              #
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return self._matrix.n_rows
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> ServeStats:
+        """Current service-telemetry snapshot."""
+        return self.scheduler.stats()
+
+    def validate_rhs(self, b: np.ndarray) -> np.ndarray:
+        """Normalize one right-hand side to an owned length-``n`` column.
+
+        The single validation path shared by :meth:`submit` (via the
+        scheduler) and :meth:`solve`: shape-checks, rejects non-finite
+        entries (they would poison a shared Krylov basis — and a direct
+        NaN solve is equally meaningless), and copies so a caller mutating
+        its array afterwards cannot corrupt a queued batch.  Raises
+        :class:`ValueError` on invalid input.
+        """
+        column = np.asarray(b, dtype=np.float64)
+        if column.ndim == 2 and column.shape[1] == 1:
+            column = column[:, 0]
+        if column.ndim != 1 or column.shape[0] != self.n_rows:
+            raise ValueError(
+                f"right-hand side must be a length-{self.n_rows} vector, "
+                f"got shape {np.asarray(b).shape}"
+            )
+        if not np.all(np.isfinite(column)):
+            raise ValueError(
+                "right-hand side contains non-finite entries; rejecting it "
+                "before it can poison a shared Krylov basis"
+            )
+        return np.array(column, copy=True)
+
+    def workspace_for(self, width: int) -> "BlockGmresWorkspace | GmresWorkspace":
+        """The pooled Krylov workspace for a dispatch of ``width`` columns.
+
+        Width 1 pools one :class:`GmresWorkspace` (the single-vector
+        path); wider dispatches get the narrowest pooled
+        :class:`BlockGmresWorkspace` that fits, creating one per new
+        width.  A wider pooled block workspace serves narrower dispatches
+        with bit-identical numerics (every cycle buffer is sliced to the
+        active width), so the pool stays small — typically one block entry
+        at ``max_block``.  Callers must hold the session solve lock (the
+        dispatcher and :meth:`solve` do).
+        """
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        if width == 1:
+            if self._single_workspace is None:
+                self._single_workspace = GmresWorkspace(
+                    self.n_rows, self.restart, self._work_precision
+                )
+            return self._single_workspace
+        best: Optional[BlockGmresWorkspace] = None
+        for ws in self._workspaces.values():
+            if ws.block_size >= width and (
+                best is None or ws.block_size < best.block_size
+            ):
+                best = ws
+        if best is None:
+            best = BlockGmresWorkspace(
+                self.n_rows, self.restart, width, self._work_precision
+            )
+            self._workspaces[width] = best
+        return best
+
+    # ------------------------------------------------------------------ #
+    # solving                                                            #
+    # ------------------------------------------------------------------ #
+    def _warmup(self) -> None:
+        """Build every lazily-cached plan before the first paying request.
+
+        One raw SpMV and one width-``max_block`` SpMM per stored matrix
+        (backend handles, DIA/SpMM plans, row geometry), one block
+        preconditioner application (recurrence scratch), and the
+        ``max_block``-wide Krylov workspace.
+        """
+        with use_context(self.context):
+            backend = self.context.backend
+            for matrix in self._matrices:
+                x = np.zeros(matrix.n_rows, dtype=matrix.dtype)
+                X = np.zeros(
+                    (matrix.n_rows, self.max_block), dtype=matrix.dtype, order="F"
+                )
+                backend.spmv(matrix, x)
+                backend.spmm(matrix, X)
+            if self.preconditioner is not None:
+                dtype = self.preconditioner.precision.dtype
+                block = np.zeros((self.n_rows, self.max_block), dtype=dtype, order="F")
+                out = np.empty_like(block)
+                self.preconditioner.apply_block(block, out=out)
+            self.workspace_for(1)
+            self.workspace_for(self.max_block)
+
+    @staticmethod
+    def _as_multi(result: SolveResult) -> MultiSolveResult:
+        """Adapt a single-vector :class:`SolveResult` to the batch shape.
+
+        The scheduler demultiplexes every dispatch through
+        :meth:`MultiSolveResult.split`; width-1 dispatches run the
+        single-vector driver, so its result is wrapped into an equivalent
+        one-column batch (same arrays, statuses and timer).
+        """
+        return MultiSolveResult(
+            X=result.x.reshape(-1, 1),
+            statuses=[result.status],
+            iterations=np.array([result.iterations], dtype=np.int64),
+            block_iterations=result.iterations,
+            restarts=result.restarts,
+            relative_residuals=np.array([result.relative_residual]),
+            relative_residuals_fp64=np.array([result.relative_residual_fp64]),
+            histories=[result.history],
+            timer=result.timer,
+            solver=result.solver,
+            precision=result.precision,
+            block_size=1,
+            details=dict(result.details),
+        )
+
+    def _solve_block(self, B: np.ndarray) -> MultiSolveResult:
+        """Run one dispatch under the pinned context (the scheduler hook).
+
+        Width-1 dispatches run the canonical *single-vector* driver
+        (``gmres`` / ``gmres_ir``) — the unbatched service path is exactly
+        the library's standard solver, bit for bit — while wider
+        dispatches run the Block-GMRES drivers.  Both reuse pooled
+        workspaces and are serialized on the session solve lock.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        width = B.shape[1]
+        with self._solve_lock:
+            workspace = self.workspace_for(width)
+            with use_context(self.context):
+                if width == 1:
+                    result = self._single_driver(
+                        self._matrix,
+                        B[:, 0],
+                        workspace=workspace,
+                        **self._single_kwargs,
+                    )
+                    return self._as_multi(result)
+                return self._block_driver(
+                    self._matrix, B, workspace=workspace, **self._block_kwargs
+                )
+
+    def submit(self, b: np.ndarray) -> "object":
+        """Enqueue one right-hand side; returns ``Future[ServeResult]``.
+
+        The scheduler may coalesce it with other waiting requests into one
+        batched solve (see :class:`~repro.serve.scheduler.SolveScheduler`).
+        """
+        return self.scheduler.submit(b)
+
+    def solve(self, b: np.ndarray) -> SolveResult:
+        """Synchronous direct solve of one right-hand side (no batching).
+
+        Runs the exact machinery a width-1 dispatch runs — the canonical
+        single-vector driver under the pinned context with the pooled
+        workspace — so a request served through an unbatched scheduler
+        resolves bit-identically to this call, and both are bit-identical
+        to :func:`repro.solvers.gmres.gmres` with the session's
+        configuration.  Bypasses the queue and the telemetry.
+        """
+        multi = self._solve_block(self.validate_rhs(b).reshape(-1, 1))
+        return multi.split()[0]
+
+    def solve_many(self, B: np.ndarray) -> MultiSolveResult:
+        """Synchronous batched solve of a caller-assembled block.
+
+        Chunks wider-than-``max_block`` blocks like
+        :func:`repro.solvers.block_gmres.solve_many`, reusing the pooled
+        workspaces.  Bypasses the queue and the telemetry.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            B = B.reshape(-1, 1)
+        results = [
+            self._solve_block(np.asfortranarray(B[:, start : start + self.max_block]))
+            for start in range(0, B.shape[1], self.max_block)
+        ]
+        if len(results) == 1:
+            return results[0]
+        merged = results[0]
+        for extra in results[1:]:
+            merged.timer.merge_from(extra.timer)
+        return MultiSolveResult(
+            X=np.concatenate([r.X for r in results], axis=1),
+            statuses=[s for r in results for s in r.statuses],
+            iterations=np.concatenate([r.iterations for r in results]),
+            block_iterations=sum(r.block_iterations for r in results),
+            restarts=sum(r.restarts for r in results),
+            relative_residuals=np.concatenate(
+                [r.relative_residuals for r in results]
+            ),
+            relative_residuals_fp64=np.concatenate(
+                [r.relative_residuals_fp64 for r in results]
+            ),
+            histories=[h for r in results for h in r.histories],
+            timer=merged.timer,
+            solver=merged.solver,
+            precision=merged.precision,
+            block_size=self.max_block,
+            details=dict(merged.details, n_blocks=len(results)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the scheduler down; ``drain=True`` finishes queued work."""
+        self.scheduler.close(drain=drain, timeout=timeout)
+        self._closed = True
+
+    def __enter__(self) -> "OperatorSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OperatorSession {self.name!r} method={self.method!r} "
+            f"backend={self.context.backend.name!r} max_block={self.max_block} "
+            f"policy={self.policy.mode!r}>"
+        )

@@ -1,0 +1,244 @@
+"""Service telemetry: per-request latency, batch occupancy, throughput.
+
+The serve layer's observable surface.  A :class:`ServeTelemetry` instance
+is owned by one :class:`~repro.serve.scheduler.SolveScheduler` and updated
+from two threads (client submits, dispatcher completions) under its own
+lock; :meth:`ServeTelemetry.snapshot` freezes everything into an immutable
+:class:`ServeStats` dataclass, which is what ``benchmarks/_harness.py
+--serve`` dumps into ``BENCH_serve.json``.
+
+Latency accounting per request:
+
+* **queue wait** — from ``submit()`` to the dispatcher popping the request
+  into a batch (the price of micro-batching; bounded by ``max_wait_ms``
+  when traffic is sparse);
+* **solve** — wall time of the batched solve the request rode in (shared
+  by all requests of the batch, by construction of batching);
+* **total latency** — the sum, i.e. submit-to-future-resolution as the
+  client experiences it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["LatencySummary", "ServeStats", "ServeTelemetry", "LATENCY_WINDOW"]
+
+#: Samples kept per latency series for the percentile summaries.  A
+#: long-lived session serves an unbounded number of requests; the lifetime
+#: counters stay exact while the latency distributions cover the most
+#: recent window (4096 requests is plenty for stable p50/p95 and keeps
+#: both memory and snapshot cost bounded).
+LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a latency series (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples: Iterable[float]) -> "LatencySummary":
+        samples = list(samples)
+        if not samples:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, max_ms=0.0)
+        ms = np.asarray(samples, dtype=np.float64) * 1e3
+        return cls(
+            count=int(ms.size),
+            mean_ms=float(ms.mean()),
+            p50_ms=float(np.percentile(ms, 50)),
+            p95_ms=float(np.percentile(ms, 95)),
+            max_ms=float(ms.max()),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Immutable snapshot of a session's service counters.
+
+    Attributes
+    ----------
+    requests_submitted / requests_completed / requests_failed:
+        Lifetime request counters.  ``failed`` counts requests whose future
+        resolved with an exception (rejected inputs, solver errors) — a
+        column that merely did not converge completes *successfully* with a
+        non-``CONVERGED`` status.
+    requests_retried:
+        Requests whose batched solve did not converge and that were
+        re-solved through the width-1 path before resolving (batch-failure
+        containment; see :mod:`repro.serve.scheduler`).
+    batches_dispatched:
+        Number of batched solves the scheduler ran.
+    batch_occupancy:
+        Histogram ``{width: batches}`` of dispatched block widths — the
+        direct readout of how well micro-batching coalesced the traffic.
+    queue_wait / solve / latency:
+        :class:`LatencySummary` of the per-request queue wait, solve time
+        and total latency, over the most recent :data:`LATENCY_WINDOW`
+        requests (counters are lifetime; the distributions are windowed
+        so a long-lived session stays bounded in memory).
+    rhs_per_second:
+        Completed requests per second of service uptime (first submit to
+        last completion) — the throughput number the serving gate checks.
+    block_iterations:
+        Total block-Arnoldi steps across all dispatches.
+    """
+
+    requests_submitted: int
+    requests_completed: int
+    requests_failed: int
+    requests_retried: int
+    batches_dispatched: int
+    batch_occupancy: Dict[int, int]
+    queue_wait: LatencySummary
+    solve: LatencySummary
+    latency: LatencySummary
+    rhs_per_second: float
+    elapsed_seconds: float
+    block_iterations: int
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        total = sum(self.batch_occupancy.values())
+        if total == 0:
+            return 0.0
+        return sum(k * v for k, v in self.batch_occupancy.items()) / total
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by ``BENCH_serve.json``)."""
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_retried": self.requests_retried,
+            "batches_dispatched": self.batches_dispatched,
+            "batch_occupancy": {str(k): v for k, v in sorted(self.batch_occupancy.items())},
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "queue_wait": self.queue_wait.as_dict(),
+            "solve": self.solve.as_dict(),
+            "latency": self.latency.as_dict(),
+            "rhs_per_second": self.rhs_per_second,
+            "elapsed_seconds": self.elapsed_seconds,
+            "block_iterations": self.block_iterations,
+        }
+
+
+class ServeTelemetry:
+    """Thread-safe accumulator behind :class:`ServeStats` snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._retried = 0
+        self._batches = 0
+        self._occupancy: Dict[int, int] = {}
+        # Bounded windows: lifetime counters stay exact, the latency
+        # distributions cover the most recent LATENCY_WINDOW requests.
+        self._queue_waits: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._solves: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._block_iterations = 0
+        self._first_submit: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # recording (called by the scheduler)                                #
+    # ------------------------------------------------------------------ #
+    def record_submitted(self) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._submitted += 1
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_rejected(self) -> None:
+        """A request failed validation before ever entering the queue."""
+        with self._lock:
+            self._submitted += 1
+            self._failed += 1
+
+    def record_batch(
+        self,
+        queue_waits: List[float],
+        solve_seconds: "float | List[float]",
+        *,
+        block_iterations: int = 0,
+        failed: int = 0,
+        retried: int = 0,
+    ) -> None:
+        """Account one dispatched batch.
+
+        ``queue_waits`` has one entry per request in the batch;
+        ``solve_seconds`` is the batch solve wall time (a scalar shared by
+        every request, or one entry per request when sequential retries
+        gave some of them extra solve time); ``failed`` counts requests
+        whose future was resolved with an exception (the rest completed)
+        and ``retried`` those that went through the width-1 retry.
+        """
+        now = time.perf_counter()
+        occupancy = len(queue_waits)
+        if isinstance(solve_seconds, (int, float)):
+            solve_seconds = [float(solve_seconds)] * occupancy
+        if len(solve_seconds) != occupancy:
+            raise ValueError("solve_seconds must match the batch occupancy")
+        with self._lock:
+            self._batches += 1
+            self._occupancy[occupancy] = self._occupancy.get(occupancy, 0) + 1
+            self._completed += occupancy - failed
+            self._failed += failed
+            self._retried += retried
+            self._block_iterations += block_iterations
+            self._queue_waits.extend(queue_waits)
+            self._solves.extend(solve_seconds)
+            self._latencies.extend(
+                w + s for w, s in zip(queue_waits, solve_seconds)
+            )
+            self._last_completion = now
+
+    # ------------------------------------------------------------------ #
+    # reading                                                            #
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> ServeStats:
+        """Freeze the counters into an immutable :class:`ServeStats`."""
+        with self._lock:
+            if self._first_submit is not None and self._last_completion is not None:
+                elapsed = max(self._last_completion - self._first_submit, 0.0)
+            else:
+                elapsed = 0.0
+            throughput = self._completed / elapsed if elapsed > 0 else 0.0
+            return ServeStats(
+                requests_submitted=self._submitted,
+                requests_completed=self._completed,
+                requests_failed=self._failed,
+                requests_retried=self._retried,
+                batches_dispatched=self._batches,
+                batch_occupancy=dict(self._occupancy),
+                queue_wait=LatencySummary.from_seconds(self._queue_waits),
+                solve=LatencySummary.from_seconds(self._solves),
+                latency=LatencySummary.from_seconds(self._latencies),
+                rhs_per_second=throughput,
+                elapsed_seconds=elapsed,
+                block_iterations=self._block_iterations,
+            )

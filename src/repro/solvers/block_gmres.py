@@ -119,6 +119,50 @@ class BlockGmresWorkspace:
         """Device memory held by the Krylov basis (for OOM checks)."""
         return self.basis.storage_bytes()
 
+    def accommodates(self, n: int, restart: int, block_size: int, precision) -> bool:
+        """True if this workspace can run a solve of the given shape.
+
+        A workspace is reusable for any solve on the same vector length
+        and precision whose restart and block width do not exceed the
+        capacities it was built with — every cycle buffer is sliced to the
+        active width, so a wider pooled workspace yields bit-identical
+        numerics to a fresh exact-size one.
+        """
+        return (
+            self.basis.length == n
+            and self.restart >= restart
+            and self.block_size >= block_size
+            and self.precision.dtype == as_precision(precision).dtype
+        )
+
+
+def _resolve_workspace(
+    workspace: Optional[BlockGmresWorkspace],
+    n: int,
+    restart: int,
+    block_size: int,
+    precision,
+) -> BlockGmresWorkspace:
+    """Validate a caller-provided workspace or allocate a fresh one.
+
+    The batch-entry hook of the serve layer: an
+    :class:`~repro.serve.OperatorSession` owns a pool of pre-allocated
+    workspaces and passes one in per dispatch, so steady-state serving
+    allocates no Krylov storage (the PR-2 allocation-free contract extended
+    across whole solves).
+    """
+    if workspace is None:
+        return BlockGmresWorkspace(n, restart, block_size, precision)
+    if not workspace.accommodates(n, restart, block_size, precision):
+        raise ValueError(
+            f"provided workspace (n={workspace.basis.length}, "
+            f"restart={workspace.restart}, block_size={workspace.block_size}, "
+            f"precision={workspace.precision.name}) cannot accommodate a "
+            f"solve with n={n}, restart={restart}, block_size={block_size}, "
+            f"precision={as_precision(precision).name}"
+        )
+    return workspace
+
 
 @dataclass
 class BlockCycleOutcome:
@@ -329,6 +373,7 @@ def block_gmres(
     loss_of_accuracy_check: bool = True,
     stagnation: Optional[StagnationTest] = None,
     fp64_check: bool = True,
+    workspace: Optional[BlockGmresWorkspace] = None,
 ) -> MultiSolveResult:
     """Solve ``A X = B`` for a block of right-hand sides with Block-GMRES.
 
@@ -356,6 +401,13 @@ def block_gmres(
         independent copy (patience/min_reduction are taken from it), and a
         column that stagnates is deflated with
         ``SolverStatus.STAGNATION`` while the others continue.
+    workspace:
+        Optional pre-allocated :class:`BlockGmresWorkspace` to reuse (it
+        must accommodate this solve's shape — see
+        :meth:`BlockGmresWorkspace.accommodates`).  The serve layer pools
+        workspaces per block width so repeated dispatches on one operator
+        allocate no Krylov storage; numerics are bit-identical to a fresh
+        workspace.
 
     Returns
     -------
@@ -389,7 +441,7 @@ def block_gmres(
     else:
         precond = wrap_for_precision(preconditioner, prec)
 
-    workspace = BlockGmresWorkspace(n, restart, p, prec)
+    workspace = _resolve_workspace(workspace, n, restart, p, prec)
     timer = timer or KernelTimer(solver_name)
     loa = LossOfAccuracyTest(tolerance=tol) if loss_of_accuracy_check else None
     stagnation_tests = (
@@ -553,6 +605,7 @@ def block_gmres_ir(
     timer: Optional[KernelTimer] = None,
     name: Optional[str] = None,
     fp64_check: bool = True,
+    workspace: Optional[BlockGmresWorkspace] = None,
 ) -> MultiSolveResult:
     """Batched GMRES-IR: blocked fp32 inner cycles with fp64 refinement.
 
@@ -596,7 +649,7 @@ def block_gmres_ir(
     else:
         precond = wrap_for_precision(preconditioner, inner)
 
-    workspace = BlockGmresWorkspace(n, restart, p, inner)
+    workspace = _resolve_workspace(workspace, n, restart, p, inner)
     timer = timer or KernelTimer(solver_name)
 
     tracker = _ColumnTracker(B, X0, outer.dtype)
@@ -774,6 +827,7 @@ def solve_many(
     method: str = "gmres",
     block_size: Optional[int] = None,
     timer: Optional[KernelTimer] = None,
+    workspace: Optional[BlockGmresWorkspace] = None,
     **kwargs,
 ) -> MultiSolveResult:
     """Solve ``A X = B`` for many right-hand sides with the batched path.
@@ -793,6 +847,10 @@ def solve_many(
         Memory per block is ``(restart + 1) · block_size`` basis vectors.
     method:
         ``"gmres"`` or ``"gmres-ir"``.
+    workspace:
+        Optional pre-allocated :class:`BlockGmresWorkspace` shared by all
+        chunks (each chunk is at most ``block_size`` columns wide, so one
+        workspace of that width serves the whole batch).
     kwargs:
         Forwarded to the block driver (restart, tol, preconditioner, ...).
     """
@@ -832,6 +890,7 @@ def solve_many(
                 B[:, start:stop],
                 X0[:, start:stop] if X0 is not None else None,
                 timer=timer,
+                workspace=workspace,
                 **kwargs,
             )
         )

@@ -103,6 +103,42 @@ class GmresWorkspace:
         """Device memory held by the Krylov basis (for OOM checks)."""
         return self.basis.storage_bytes()
 
+    def accommodates(self, n: int, restart: int, precision) -> bool:
+        """True if this workspace can run a solve of the given shape.
+
+        Reusable for any solve on the same vector length and precision
+        whose restart does not exceed the capacity it was built with
+        (cycles are capped by ``max_steps``, so a longer-restart workspace
+        yields bit-identical numerics to a fresh exact-size one).
+        """
+        return (
+            self.basis.length == n
+            and self.restart >= restart
+            and self.precision.dtype == as_precision(precision).dtype
+        )
+
+
+def _resolve_gmres_workspace(
+    workspace: "GmresWorkspace | None", n: int, restart: int, precision
+) -> GmresWorkspace:
+    """Validate a caller-provided workspace or allocate a fresh one.
+
+    The single-vector twin of the Block-GMRES batch-entry hook: the serve
+    layer's :class:`~repro.serve.OperatorSession` pools one workspace for
+    its width-1 dispatches so steady-state serving allocates no Krylov
+    storage.
+    """
+    if workspace is None:
+        return GmresWorkspace(n, restart, precision)
+    if not workspace.accommodates(n, restart, precision):
+        raise ValueError(
+            f"provided workspace (n={workspace.basis.length}, "
+            f"restart={workspace.restart}, precision={workspace.precision.name}) "
+            f"cannot accommodate a solve with n={n}, restart={restart}, "
+            f"precision={as_precision(precision).name}"
+        )
+    return workspace
+
 
 def run_gmres_cycle(
     matrix: CsrMatrix,
@@ -233,6 +269,7 @@ def gmres(
     loss_of_accuracy_check: bool = True,
     stagnation: Optional[StagnationTest] = None,
     fp64_check: bool = True,
+    workspace: Optional[GmresWorkspace] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) in a single working precision.
 
@@ -269,6 +306,11 @@ def gmres(
         Optional :class:`StagnationTest` applied to the explicit residuals.
     fp64_check:
         Also report the final residual recomputed in fp64 (unmetered).
+    workspace:
+        Optional pre-allocated :class:`GmresWorkspace` to reuse (must
+        accommodate this solve's shape).  The serve layer pools one for
+        its width-1 dispatches; numerics are bit-identical to a fresh
+        workspace.
 
     Returns
     -------
@@ -300,7 +342,7 @@ def gmres(
     else:
         precond = wrap_for_precision(preconditioner, prec)
 
-    workspace = GmresWorkspace(n, restart, prec)
+    workspace = _resolve_gmres_workspace(workspace, n, restart, prec)
     history = ConvergenceHistory()
     timer = timer or KernelTimer(solver_name)
     loa = LossOfAccuracyTest(tolerance=tol) if loss_of_accuracy_check else None

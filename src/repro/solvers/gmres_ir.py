@@ -34,7 +34,12 @@ from ..precision import Precision, as_precision
 from ..preconditioners.base import IdentityPreconditioner, Preconditioner
 from ..preconditioners.mixed import wrap_for_precision
 from ..sparse.csr import CsrMatrix
-from .gmres import GmresWorkspace, run_gmres_cycle, _fp64_relative_residual
+from .gmres import (
+    GmresWorkspace,
+    run_gmres_cycle,
+    _fp64_relative_residual,
+    _resolve_gmres_workspace,
+)
 from .result import ConvergenceHistory, SolveResult, SolverStatus
 
 __all__ = ["gmres_ir"]
@@ -57,6 +62,7 @@ def gmres_ir(
     timer: Optional[KernelTimer] = None,
     name: Optional[str] = None,
     fp64_check: bool = True,
+    workspace: Optional[GmresWorkspace] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with GMRES-IR (fp32 inner cycles, fp64 refinement).
 
@@ -120,7 +126,7 @@ def gmres_ir(
     else:
         precond = wrap_for_precision(preconditioner, inner)
 
-    workspace = GmresWorkspace(n, restart, inner)
+    workspace = _resolve_gmres_workspace(workspace, n, restart, inner)
     history = ConvergenceHistory()
     timer = timer or KernelTimer(solver_name)
 

@@ -257,6 +257,22 @@ class MultiSolveResult:
             details=dict(self.details, column=c),
         )
 
+    def split(self) -> List[SolveResult]:
+        """Demultiplex into one :class:`SolveResult` per right-hand side.
+
+        The serve layer's fan-out: after a batched dispatch each client
+        future is resolved with its own column result.  Solution vectors
+        are *copied* (each client owns its result outright; the batch block
+        can be reused), while histories and the shared timer are the same
+        objects referenced per column.
+        """
+        results = []
+        for c in range(self.n_rhs):
+            res = self.column(c)
+            res.x = np.array(res.x, copy=True)
+            results.append(res)
+        return results
+
     def summary(self) -> str:
         """Human-readable description of the batched run."""
         converged = sum(s == SolverStatus.CONVERGED for s in self.statuses)

@@ -54,6 +54,7 @@ class CsrMatrix:
         "name",
         "_bandwidth",
         "backend_cache",
+        "_cast_cache",
     )
 
     def __init__(
@@ -77,6 +78,8 @@ class CsrMatrix:
         # Per-matrix scratch for backend-specific views of the CSR arrays
         # (e.g. the scipy.sparse handle); see repro.backends.
         self.backend_cache: dict = {}
+        # Precision-cast copies, keyed by dtype; see astype().
+        self._cast_cache: dict = {}
         if check:
             self._validate()
 
@@ -234,15 +237,29 @@ class CsrMatrix:
     # conversion                                                         #
     # ------------------------------------------------------------------ #
     def astype(self, precision, *, name: Optional[str] = None) -> "CsrMatrix":
-        """Copy of this matrix with values stored in another precision.
+        """This matrix with values stored in another precision.
 
         Index arrays are shared (not copied): only the values change width,
         matching the paper's storage scheme for the fp32 copy of ``A`` kept
         by GMRES-IR.
+
+        The cast is **cached per dtype** (unless a custom ``name`` is
+        given): repeated ``astype`` calls return the same object, so its
+        backend plans (SciPy handle, DIA/SpMM plan, row geometry) are
+        built once and amortized across solves — this is what lets a
+        mixed-precision :class:`~repro.serve.OperatorSession` warm its
+        inner-precision matrix eagerly and have every later dispatch hit
+        the warm copy.  Matrices are treated as immutable throughout the
+        library; mutating ``data`` after a cast would desynchronize the
+        cached copies.
         """
         prec = as_precision(precision)
         if prec.dtype == self.dtype:
             return self
+        if name is None:
+            cached = self._cast_cache.get(prec.dtype)
+            if cached is not None:
+                return cached
         out = CsrMatrix(
             self.data.astype(prec.dtype),
             self.indices,
@@ -252,6 +269,8 @@ class CsrMatrix:
             check=False,
         )
         out._bandwidth = self._bandwidth
+        if name is None:
+            self._cast_cache[prec.dtype] = out
         return out
 
     def to_scipy(self):

@@ -1,0 +1,227 @@
+"""Concurrency contracts the serve layer depends on.
+
+Two satellite guarantees pinned explicitly:
+
+* :func:`repro.linalg.context.use_backend` (and ``use_context`` /
+  ``use_device``) are *thread-scoped*: they nest and unwind per thread and
+  never leak into other threads — the property that lets the serve
+  dispatcher pin a session's backend while clients do their own thing;
+* :class:`repro.config.ReproConfig` is safe to read from many threads
+  while another thread replaces it: readers always observe a coherent
+  (frozen) snapshot, never a half-updated config.
+
+Plus the same thread-locality for the kernel-timer stack (a timer pushed
+on one thread must not observe another thread's kernel calls).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.config import ReproConfig, get_config, rng, set_config
+from repro.linalg import kernels
+from repro.linalg.context import (
+    ExecutionContext,
+    get_context,
+    set_context,
+    use_backend,
+    use_context,
+    use_device,
+)
+from repro.matrices import laplace2d
+from repro.perfmodel.timer import KernelTimer, use_timer
+
+
+class TestUseBackendNesting:
+    def test_nested_switches_unwind_in_lifo_order(self):
+        default = get_context().backend.name
+        with use_backend("scipy") as outer:
+            assert get_context() is outer
+            assert get_context().backend.name == "scipy"
+            with use_backend("numpy") as inner:
+                assert get_context() is inner
+                assert get_context().backend.name == "numpy"
+                with use_backend("scipy"):
+                    assert get_context().backend.name == "scipy"
+                assert get_context() is inner
+            assert get_context() is outer
+            assert get_context().backend.name == "scipy"
+        assert get_context().backend.name == default
+
+    def test_exception_restores_enclosing_context(self):
+        before = get_context()
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("scipy"):
+                with use_backend("numpy"):
+                    raise RuntimeError("boom")
+        assert get_context() is before
+
+    def test_nesting_preserves_meter_and_cost_model(self):
+        set_context(ExecutionContext(meter=False))
+        outer_model = get_context().cost_model
+        with use_backend("scipy") as ctx:
+            assert ctx.meter is False
+            assert ctx.cost_model is outer_model
+            with use_device("a100", meter=True) as dev_ctx:
+                assert dev_ctx.meter is True
+                assert dev_ctx.backend.name == "scipy"  # backend carried over
+            assert get_context() is ctx
+
+    def test_switch_is_thread_local(self):
+        """A use_backend block in one thread is invisible to another."""
+        default = get_context().backend.name
+        entered = threading.Event()
+        release = threading.Event()
+        seen_inside: list = []
+
+        def switcher():
+            with use_backend("scipy"):
+                seen_inside.append(get_context().backend.name)
+                entered.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=switcher)
+        t.start()
+        assert entered.wait(timeout=10)
+        # While the other thread holds its scoped switch, this thread
+        # still sees the global default.
+        assert get_context().backend.name == default
+        release.set()
+        t.join(timeout=10)
+        assert seen_inside == ["scipy"]
+
+    def test_set_context_is_global_but_overrides_win(self):
+        pinned = ExecutionContext(backend=get_backend("scipy"))
+        with use_context(pinned):
+            # A global swap must not disturb the thread's scoped override...
+            set_context(ExecutionContext())
+            assert get_context() is pinned
+        # ...but applies once the override unwinds.
+        assert get_context().backend.name == get_config().backend
+
+    def test_kernels_dispatch_through_thread_scoped_backend(self):
+        matrix = laplace2d(6)
+        x = np.ones(matrix.n_rows)
+        reference = kernels.spmv(matrix, x)
+        results = {}
+
+        def worker(name):
+            with use_backend(name):
+                results[name] = kernels.spmv(matrix, x)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("numpy", "scipy")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        np.testing.assert_allclose(results["numpy"], reference)
+        np.testing.assert_allclose(results["scipy"], reference, rtol=1e-13)
+
+
+class TestConfigThreadSafety:
+    def test_concurrent_readers_see_coherent_snapshots(self):
+        """Hammer get_config from many threads while one thread flips it.
+
+        The two writer configs pair restart/rtol values; a torn read would
+        surface as a mismatched pair.
+        """
+        config_a = ReproConfig(restart=11, rtol=1e-11)
+        config_b = ReproConfig(restart=22, rtol=1e-22)
+        valid = {(11, 1e-11), (22, 1e-22)}
+        stop = threading.Event()
+        bad: list = []
+
+        def reader():
+            while not stop.is_set():
+                cfg = get_config()
+                pair = (cfg.restart, cfg.rtol)
+                if pair not in valid and cfg.restart not in (50,):
+                    bad.append(pair)
+
+        def writer():
+            for i in range(500):
+                set_config(config_a if i % 2 else config_b)
+            stop.set()
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        w = threading.Thread(target=writer)
+        set_config(config_a)
+        for t in readers:
+            t.start()
+        w.start()
+        w.join(timeout=30)
+        stop.set()
+        for t in readers:
+            t.join(timeout=30)
+        assert not bad
+
+    def test_config_is_frozen_against_in_place_mutation(self):
+        cfg = get_config()
+        with pytest.raises(Exception):
+            cfg.serve_max_block = 99  # type: ignore[misc]
+
+    def test_rng_usable_from_many_threads(self):
+        draws = {}
+
+        def worker(i):
+            draws[i] = rng(seed=1000 + i).standard_normal(4)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(draws) == 8
+        # Deterministic per seed, independent across threads.
+        np.testing.assert_array_equal(draws[0], rng(seed=1000).standard_normal(4))
+
+    def test_serve_defaults_present(self):
+        cfg = ReproConfig()
+        assert cfg.serve_max_block >= 1
+        assert cfg.serve_max_wait_ms >= 0.0
+        assert cfg.serve_policy in ("auto", "block", "sequential")
+
+
+class TestTimerThreadLocality:
+    def test_timer_observes_only_its_own_thread(self):
+        matrix = laplace2d(6)
+        x = np.ones(matrix.n_rows)
+        other_done = threading.Event()
+
+        def other_thread():
+            # No timer on this thread's stack: nothing may be recorded
+            # into the main thread's timer by these calls.
+            for _ in range(5):
+                kernels.spmv(matrix, x)
+            other_done.set()
+
+        with use_timer(KernelTimer("main")) as timer:
+            kernels.spmv(matrix, x)
+            t = threading.Thread(target=other_thread)
+            t.start()
+            assert other_done.wait(timeout=10)
+            t.join(timeout=10)
+            kernels.spmv(matrix, x)
+        assert timer.calls_by_label().get("SpMV") == 2
+
+    def test_threads_can_meter_independently(self):
+        matrix = laplace2d(6)
+        x = np.ones(matrix.n_rows)
+        counts = {}
+
+        def worker(i):
+            with use_timer(KernelTimer(f"t{i}")) as timer:
+                for _ in range(i + 1):
+                    kernels.spmv(matrix, x)
+            counts[i] = timer.calls_by_label().get("SpMV")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counts == {0: 1, 1: 2, 2: 3, 3: 4}

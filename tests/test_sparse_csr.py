@@ -147,6 +147,17 @@ class TestMatvecAndConversion:
     def test_astype_same_precision_returns_self(self, laplace_small):
         assert laplace_small.astype("double") is laplace_small
 
+    def test_astype_caches_per_dtype(self, laplace_small):
+        # Repeated casts return the same object, so per-matrix backend
+        # plans amortize across solves (mixed-precision serving relies on
+        # this); a custom name bypasses the cache.
+        low = laplace_small.astype("single")
+        assert laplace_small.astype("single") is low
+        assert laplace_small.astype("half") is not low
+        renamed = laplace_small.astype("single", name="custom")
+        assert renamed is not low
+        assert laplace_small.astype("single") is low
+
     def test_astype_preserves_cached_bandwidth(self, laplace_small):
         bw = laplace_small.bandwidth()
         assert laplace_small.astype("single").bandwidth() == bw
