@@ -50,6 +50,7 @@ from .solvers import (
     MultiSolveResult,
     SolverStatus,
     ConvergenceHistory,
+    ResultLike,
     gmres,
     gmres_ir,
     gmres_fd,
@@ -65,15 +66,6 @@ from .preconditioners import (
     GmresPolynomialPreconditioner,
     make_preconditioner,
 )
-from .serve import (
-    OperatorSession,
-    SolveScheduler,
-    ServeResult,
-    BatchingPolicy,
-    ServeStats,
-    ServeTelemetry,
-)
-
 __version__ = "1.0.0"
 
 __all__ = [
@@ -121,6 +113,7 @@ __all__ = [
     "MultiSolveResult",
     "SolverStatus",
     "ConvergenceHistory",
+    "ResultLike",
     "gmres",
     "gmres_ir",
     "gmres_fd",
@@ -134,16 +127,74 @@ __all__ = [
     "BlockJacobiPreconditioner",
     "GmresPolynomialPreconditioner",
     "make_preconditioner",
-    # serving
+    # serving facade (classes live in repro.serve)
+    "session",
+    "farm",
+    # helpers
+    "ones_rhs",
+]
+
+
+def session(matrix: CsrMatrix, **kwargs) -> "serve.OperatorSession":
+    """Open a serving session for one operator (the serving facade).
+
+    ``repro.session(A, **cfg)`` is :class:`repro.serve.OperatorSession`
+    with the matrix first and everything else keyword-configured —
+    register the operator once, then ``submit()`` (or ``await
+    asubmit()``) many right-hand sides against its warmed plans and
+    pooled workspaces::
+
+        with repro.session(A, preconditioner=M, restart=15) as s:
+            x = s.submit(b).result().x
+
+    For many operators behind one service, see :func:`farm`.
+    """
+    return serve.OperatorSession(matrix, **kwargs)
+
+
+def farm(**kwargs) -> "serve.SolverFarm":
+    """Open a multi-operator solver farm (the multi-tenant facade).
+
+    ``repro.farm(**cfg)`` is :class:`repro.serve.SolverFarm`: register
+    operators by key (cheap; sessions warm on first traffic and live in
+    an LRU cache under a memory budget), then submit right-hand sides
+    per key through a shared, fairness-scheduled worker pool::
+
+        with repro.farm(workers=2, max_sessions=4) as f:
+            f.register("poisson", A, preconditioner=M)
+            x = f.submit("poisson", b).result().x
+
+    Knobs default from ``ReproConfig.serve``
+    (:class:`repro.config.ServeConfig`).
+    """
+    return serve.SolverFarm(**kwargs)
+
+
+#: Top-level serve re-exports predate the facade; they still resolve (via
+#: PEP 562) but warn — the supported spellings are repro.session(...) /
+#: repro.farm(...) and the curated repro.serve namespace.
+_DEPRECATED_SERVE_EXPORTS = (
     "OperatorSession",
     "SolveScheduler",
     "ServeResult",
     "BatchingPolicy",
     "ServeStats",
     "ServeTelemetry",
-    # helpers
-    "ones_rhs",
-]
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SERVE_EXPORTS:
+        import warnings
+
+        warnings.warn(
+            f"repro.{name} is deprecated; use repro.serve.{name} "
+            "(or the repro.session()/repro.farm() facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def ones_rhs(matrix: CsrMatrix, precision="double") -> np.ndarray:

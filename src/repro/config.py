@@ -15,17 +15,97 @@ The paper's experimental setup (Section V) is encoded here as defaults:
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["ReproConfig", "get_config", "set_config", "default_config", "rng"]
+__all__ = [
+    "ReproConfig",
+    "ServeConfig",
+    "get_config",
+    "set_config",
+    "default_config",
+    "rng",
+]
 
 
 def _default_backend() -> str:
     """Backend name from the ``REPRO_BACKEND`` environment variable."""
     return os.environ.get("REPRO_BACKEND", "numpy").strip().lower() or "numpy"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Defaults of the solver service layer (:mod:`repro.serve`).
+
+    Session knobs (one operator):
+
+    max_block:
+        Micro-batch width cap: the scheduler dispatches at most this many
+        coalesced right-hand sides per batched solve.
+    max_wait_ms:
+        Micro-batching window in milliseconds: a queued request is
+        dispatched once this much time has passed since batch assembly
+        began, even if the batch is not full.  ``0`` disables
+        coalescing-by-waiting (requests still batch when they are already
+        queued together).
+    policy:
+        Batching policy mode: ``"auto"`` consults the kernel cost model
+        per operator, ``"block"`` always batches to the width cap,
+        ``"sequential"`` forces width-1 solves.
+
+    Farm knobs (multi-operator, multi-tenant — :class:`repro.serve.SolverFarm`):
+
+    max_sessions:
+        Warm-session budget of the :class:`repro.serve.SessionRegistry`:
+        the least-recently-used session (its warmed plans and workspace
+        pool) is evicted when a new operator would exceed this count.
+    max_session_bytes:
+        Optional memory budget (estimated bytes of matrices + pooled
+        workspaces across all warm sessions) triggering the same LRU
+        eviction; ``None`` disables byte accounting.
+    queue_depth:
+        Per-tenant bounded queue depth; a ``submit()`` beyond it is
+        rejected with :class:`repro.serve.RejectedError` (backpressure)
+        instead of growing the queue without bound.
+    fairness:
+        Worker dispatch order across tenants: ``"weighted"`` picks the
+        ready tenant with the smallest served-work/weight ratio (weighted
+        fair sharing — a hot tenant cannot starve the others),
+        ``"fifo"`` serves tenants strictly by oldest waiting request.
+    workers:
+        Shared worker threads draining the per-tenant queues.
+    """
+
+    max_block: int = 8
+    max_wait_ms: float = 2.0
+    policy: str = "auto"
+    max_sessions: int = 8
+    max_session_bytes: Optional[int] = None
+    queue_depth: int = 64
+    fairness: str = "weighted"
+    workers: int = 2
+
+
+#: Deprecated flat ``ReproConfig`` field -> canonical ``ServeConfig`` field.
+_DEPRECATED_SERVE_ALIASES = {
+    "serve_max_block": "max_block",
+    "serve_max_wait_ms": "max_wait_ms",
+    "serve_policy": "policy",
+}
+
+
+def _warn_serve_alias(old: str, *, stacklevel: int = 3) -> str:
+    new = _DEPRECATED_SERVE_ALIASES[old]
+    warnings.warn(
+        f"ReproConfig.{old} is deprecated; use ReproConfig.serve.{new} "
+        f"(a ServeConfig field) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return new
 
 
 @dataclass(frozen=True)
@@ -54,20 +134,13 @@ class ReproConfig:
         Name of the kernel backend the execution context dispatches to
         (see :mod:`repro.backends`).  Defaults to the ``REPRO_BACKEND``
         environment variable, falling back to the NumPy reference.
-    serve_max_block:
-        Default micro-batch width cap of the solver service layer
-        (:mod:`repro.serve`): the scheduler dispatches at most this many
-        coalesced right-hand sides per batched solve.
-    serve_max_wait_ms:
-        Default micro-batching window in milliseconds: a queued request is
-        dispatched once this much time has passed since the oldest waiting
-        request arrived, even if the batch is not full.  ``0`` disables
-        coalescing-by-waiting (requests still batch when they are already
-        queued together).
-    serve_policy:
-        Default batching policy mode of the service layer: ``"auto"``
-        consults the kernel cost model per operator, ``"block"`` always
-        batches to the width cap, ``"sequential"`` forces width-1 solves.
+    serve:
+        :class:`ServeConfig` bundle of the service-layer defaults
+        (micro-batching knobs plus the multi-tenant farm knobs).  The
+        former flat fields ``serve_max_block`` / ``serve_max_wait_ms`` /
+        ``serve_policy`` still work — as constructor keywords, through
+        :func:`set_config`, and as read-only attributes — but emit
+        :class:`DeprecationWarning`.
     """
 
     rtol: float = 1e-10
@@ -77,9 +150,60 @@ class ReproConfig:
     seed: int = 20210516  # arXiv submission date of the paper
     meter_kernels: bool = True
     backend: str = field(default_factory=_default_backend)
-    serve_max_block: int = 8
-    serve_max_wait_ms: float = 2.0
-    serve_policy: str = "auto"
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __init__(
+        self,
+        rtol: float = 1e-10,
+        restart: int = 50,
+        max_restarts: int = 400,
+        device_name: str = "v100",
+        seed: int = 20210516,
+        meter_kernels: bool = True,
+        backend: Optional[str] = None,
+        serve: Optional[ServeConfig] = None,
+        **legacy,
+    ) -> None:
+        # Hand-written so the deprecated flat serve fields keep working as
+        # constructor keywords (dataclasses leave a class-defined __init__
+        # alone; replace() still round-trips through the canonical names).
+        unknown = set(legacy) - set(_DEPRECATED_SERVE_ALIASES)
+        if unknown:
+            raise TypeError(
+                f"ReproConfig() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        serve = serve if serve is not None else ServeConfig()
+        if legacy:
+            serve = replace(
+                serve,
+                **{_warn_serve_alias(old): value for old, value in legacy.items()},
+            )
+        object.__setattr__(self, "rtol", rtol)
+        object.__setattr__(self, "restart", restart)
+        object.__setattr__(self, "max_restarts", max_restarts)
+        object.__setattr__(self, "device_name", device_name)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "meter_kernels", meter_kernels)
+        object.__setattr__(
+            self, "backend", backend if backend is not None else _default_backend()
+        )
+        object.__setattr__(self, "serve", serve)
+
+    # -- deprecated flat serve fields (read-only aliases) ----------------- #
+    @property
+    def serve_max_block(self) -> int:
+        _warn_serve_alias("serve_max_block")
+        return self.serve.max_block
+
+    @property
+    def serve_max_wait_ms(self) -> float:
+        _warn_serve_alias("serve_max_wait_ms")
+        return self.serve.max_wait_ms
+
+    @property
+    def serve_policy(self) -> str:
+        _warn_serve_alias("serve_policy")
+        return self.serve.policy
 
 
 _DEFAULT = ReproConfig()
@@ -101,9 +225,22 @@ def set_config(config: Optional[ReproConfig] = None, **overrides) -> ReproConfig
 
     Either pass a full :class:`ReproConfig` or keyword overrides applied on
     top of the current one.  Returns the new active configuration.
+
+    The deprecated flat serve fields (``serve_max_block`` /
+    ``serve_max_wait_ms`` / ``serve_policy``) are still accepted as
+    overrides — they emit :class:`DeprecationWarning` and are folded into
+    the canonical :attr:`ReproConfig.serve` bundle.
     """
     global _CURRENT
     base = config if config is not None else _CURRENT
+    serve_overrides = {
+        _warn_serve_alias(old): overrides.pop(old)
+        for old in list(overrides)
+        if old in _DEPRECATED_SERVE_ALIASES
+    }
+    if serve_overrides:
+        serve = overrides.get("serve", base.serve)
+        overrides["serve"] = replace(serve, **serve_overrides)
     _CURRENT = replace(base, **overrides) if overrides else base
     return _CURRENT
 

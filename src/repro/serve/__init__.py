@@ -25,39 +25,80 @@ Pieces
 :class:`BatchingPolicy`
     Decides sequential-vs-block and the dispatch width per operator from
     the analytic kernel cost model (SpMM vs ``k`` SpMVs, GEMM vs ``k``
-    GEMVs); overridable via ``ReproConfig.serve_policy``.
+    GEMVs); overridable via ``ReproConfig.serve.policy``.
 :class:`ServeTelemetry` / :class:`ServeStats`
     Per-request queue-wait/solve latency, batch-occupancy histogram and
     throughput counters, snapshotted as an immutable dataclass (dumped by
     ``benchmarks/_harness.py --serve`` into ``BENCH_serve.json``).
 
-Quickstart::
+:class:`SolverFarm` / :class:`SessionRegistry`
+    The multi-tenant form: many operators registered by key, warmed
+    sessions LRU-cached under a session-count/byte budget, bounded
+    per-tenant queues with :class:`RejectedError` backpressure, and a
+    shared worker pool with weighted-fair dispatch.  Fleet and per-tenant
+    accounting via :class:`FarmTelemetry` / :class:`FarmStats`
+    (``benchmarks/_harness.py --farm`` → ``BENCH_farm.json``).
+
+Quickstart (one operator — see :func:`repro.session`)::
 
     import numpy as np
     import repro
 
     A = repro.matrices.laplace3d(32)
     M = repro.GmresPolynomialPreconditioner(A, degree=16)
-    with repro.serve.OperatorSession(
+    with repro.session(
         A, preconditioner=M, restart=15, tol=1e-8, max_block=8
     ) as session:
         futures = [session.submit(np.random.rand(A.n_rows)) for _ in range(32)]
         results = [f.result() for f in futures]
         print(session.stats().as_dict())
+
+Many operators — see :func:`repro.farm`::
+
+    with repro.farm(workers=2, max_sessions=4) as f:
+        f.register("poisson", A, preconditioner=M, restart=15)
+        result = f.submit("poisson", np.random.rand(A.n_rows)).result()
+        print(f.stats().as_dict())
 """
 
+from .farm import FAIRNESS_MODES, RejectedError, SolverFarm
 from .policy import BatchingPolicy, POLICY_MODES
-from .scheduler import ServeResult, SolveScheduler
+from .registry import SessionRegistry
+from .scheduler import PendingRequest, ServeResult, SolveScheduler
 from .session import OperatorSession
-from .telemetry import LatencySummary, ServeStats, ServeTelemetry
+from .telemetry import (
+    FarmStats,
+    FarmTelemetry,
+    LatencySummary,
+    ServeStats,
+    ServeTelemetry,
+    TenantStats,
+)
 
+#: The curated public surface of the serve layer: the two service fronts
+#: (session and farm), their building blocks, and the telemetry types a
+#: client reads.  Internal plumbing (TelemetryFanout, run_batch, the
+#: worker machinery) is importable from the submodules but not part of
+#: the supported API.
 __all__ = [
+    # single-operator service
     "OperatorSession",
     "SolveScheduler",
     "ServeResult",
+    "PendingRequest",
+    # multi-tenant farm
+    "SolverFarm",
+    "SessionRegistry",
+    "RejectedError",
+    "FAIRNESS_MODES",
+    # batching policy
     "BatchingPolicy",
     "POLICY_MODES",
+    # telemetry
     "ServeTelemetry",
     "ServeStats",
+    "FarmTelemetry",
+    "FarmStats",
+    "TenantStats",
     "LatencySummary",
 ]

@@ -1,0 +1,494 @@
+"""Solver farm: many operators, many tenants, one shared worker pool.
+
+:class:`~repro.serve.session.OperatorSession` (PR 4) serves one operator
+with a dedicated dispatcher thread — the right shape for a single hot
+operator, the wrong one for a fleet: N operators would pin N threads and
+N warmed sessions regardless of traffic.  The :class:`SolverFarm` is the
+multi-tenant form of the same service:
+
+* **registration is cheap** — ``register(key, matrix, ...)`` stores a
+  session *factory*; the expensive warm-up happens on first traffic, and
+  the warmed session lives in an LRU
+  :class:`~repro.serve.registry.SessionRegistry` under a session-count /
+  byte budget.  An evicted operator transparently re-warms on its next
+  request;
+* **queues belong to the farm, not the sessions** — each tenant has a
+  bounded queue of :class:`~repro.serve.scheduler.PendingRequest`, so an
+  eviction can never lose a future;
+* **admission control** — a submit against a full tenant queue raises
+  :class:`RejectedError` carrying a ``retry_after_ms`` hint, instead of
+  queueing unbounded work (backpressure the client can act on);
+* **a shared worker pool** drains the queues.  Each worker repeatedly
+  picks the neediest ready tenant — under ``fairness="weighted"`` the one
+  with the smallest served-work/weight ratio (deficit-style weighted
+  round-robin, so a hot tenant cannot starve the others beyond its
+  weight); under ``"fifo"`` the tenant holding the globally oldest
+  request — marks it busy (one worker per tenant at a time: batches must
+  not be split across workers), micro-batches its queue exactly like the
+  single-session scheduler, and runs the shared dispatch core
+  :func:`~repro.serve.scheduler.run_batch`;
+* **two-level telemetry** — every event is recorded in the tenant's own
+  :class:`~repro.serve.telemetry.ServeTelemetry` *and* the fleet-wide one
+  via a :class:`~repro.serve.telemetry.TelemetryFanout`;
+  :meth:`SolverFarm.stats` snapshots the whole farm (per-tenant RHS/s,
+  queue depths, fairness shares, evictions) as a
+  :class:`~repro.serve.telemetry.FarmStats`.
+
+Every knob defaults from ``ReproConfig.serve``
+(:class:`~repro.config.ServeConfig`); constructor arguments override.
+
+Quickstart::
+
+    farm = repro.farm(workers=2, max_sessions=4)
+    farm.register("poisson", A, preconditioner=M, restart=15)
+    farm.register("helmholtz", B, tol=1e-6)
+    with farm:
+        futures = [farm.submit("poisson", rhs) for rhs in many_rhs]
+        result = await farm.asubmit("helmholtz", other_rhs)  # asyncio front
+        print(farm.stats().as_dict())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..config import get_config
+from ..sparse.csr import CsrMatrix
+from .registry import SessionRegistry
+from .scheduler import PendingRequest, ServeResult, run_batch
+from .session import OperatorSession, validate_rhs
+from .telemetry import FarmStats, FarmTelemetry
+
+__all__ = ["RejectedError", "SolverFarm", "FAIRNESS_MODES"]
+
+#: Recognized values of ``ServeConfig.fairness``.
+FAIRNESS_MODES = ("weighted", "fifo")
+
+
+class RejectedError(RuntimeError):
+    """A submit was refused by admission control (tenant queue full).
+
+    Backpressure, not failure: the farm is protecting its latency by
+    bounding queued work per tenant.  ``retry_after_ms`` is the farm's
+    estimate of when the queue will have drained enough to accept the
+    request — a hint, not a promise.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: float) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class _Tenant:
+    """Farm-side state of one registered operator (not the session)."""
+
+    __slots__ = ("key", "n_rows", "weight", "queue", "busy", "served")
+
+    def __init__(self, key: str, n_rows: int, weight: float) -> None:
+        self.key = key
+        self.n_rows = n_rows
+        self.weight = weight
+        self.queue: Deque[PendingRequest] = deque()
+        #: a worker is currently batching/dispatching this tenant —
+        #: no second worker may touch its queue (batches must coalesce,
+        #: not race).
+        self.busy = False
+        #: requests completed, the numerator of the deficit ratio
+        self.served = 0
+
+
+class SolverFarm:
+    """Multi-operator, multi-tenant solver service over a shared worker pool.
+
+    Parameters (all defaulting from ``ReproConfig.serve``)
+    ----------
+    max_sessions / max_session_bytes:
+        Budgets of the warmed-session LRU cache
+        (:class:`~repro.serve.registry.SessionRegistry`).
+    queue_depth:
+        Bound on each tenant's queue; a submit beyond it raises
+        :class:`RejectedError`.
+    fairness:
+        ``"weighted"`` (deficit-style weighted round-robin, the default)
+        or ``"fifo"`` (globally oldest request first).
+    workers:
+        Size of the shared dispatch pool.  Solves on one *session* are
+        serialized on its solve lock (the modelled device is one GPU), but
+        workers overlap across tenants: while one dispatch runs, other
+        workers batch, validate, warm sessions and demux results.
+    max_wait_ms:
+        Per-tenant micro-batching window, exactly as in
+        :class:`~repro.serve.scheduler.SolveScheduler`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: Optional[int] = None,
+        max_session_bytes: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        fairness: Optional[str] = None,
+        workers: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        name: str = "farm",
+    ) -> None:
+        cfg = get_config().serve
+        self.name = name
+        self.queue_depth = cfg.queue_depth if queue_depth is None else int(queue_depth)
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self.fairness = cfg.fairness if fairness is None else str(fairness)
+        if self.fairness not in FAIRNESS_MODES:
+            raise ValueError(
+                f"unknown fairness mode {self.fairness!r}; choose from {FAIRNESS_MODES}"
+            )
+        self.workers = cfg.workers if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.max_wait_seconds = (
+            cfg.max_wait_ms if max_wait_ms is None else float(max_wait_ms)
+        ) / 1e3
+        self.telemetry = FarmTelemetry()
+        self.registry = SessionRegistry(
+            max_sessions=cfg.max_sessions if max_sessions is None else int(max_sessions),
+            max_bytes=(
+                cfg.max_session_bytes
+                if max_session_bytes is None
+                else max_session_bytes
+            ),
+            on_create=self.telemetry.record_creation,
+            on_evict=self.telemetry.record_eviction,
+        )
+        self._tenants: Dict[str, _Tenant] = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # registration                                                       #
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        key: str,
+        matrix: Optional[CsrMatrix] = None,
+        *,
+        factory: Optional[Callable[[], OperatorSession]] = None,
+        n_rows: Optional[int] = None,
+        weight: float = 1.0,
+        **session_kwargs,
+    ) -> None:
+        """Register operator ``key``; cheap — nothing is warmed yet.
+
+        Either pass ``matrix`` (plus any :class:`OperatorSession` keyword
+        arguments, e.g. ``preconditioner=``, ``restart=``, ``method=``) and
+        the farm builds the session factory, or pass a ready ``factory``
+        together with ``n_rows`` (needed to validate right-hand sides
+        without forcing a cold session to warm).  ``weight`` is the
+        tenant's fairness share under ``fairness="weighted"``.
+
+        Tenants are served *concurrently* by the worker pool, so state
+        shared between operators must be thread-safe.  In particular, do
+        not register the same mutable solver state under several keys:
+        neither one stateful preconditioner instance (e.g.
+        :class:`~repro.preconditioners.polynomial.GmresPolynomialPreconditioner`
+        owns recurrence scratch) nor one :class:`CsrMatrix` object (the
+        backends cache kernel plans *with scratch buffers* on the matrix,
+        see ``CsrMatrix.backend_cache``) — concurrent dispatches would
+        race on that scratch.  Within one operator the session solve lock
+        serializes everything, so this only matters across keys; distinct
+        operators naturally have distinct matrices.
+        """
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if (matrix is None) == (factory is None):
+            raise ValueError("pass exactly one of matrix= or factory=")
+        if factory is None:
+            rows = matrix.n_rows
+
+            def factory(matrix=matrix, kwargs=dict(session_kwargs)) -> OperatorSession:
+                return OperatorSession(matrix, name=f"{self.name}:{key}", **kwargs)
+
+        else:
+            if session_kwargs:
+                raise ValueError(
+                    "session keyword arguments only apply with matrix=; "
+                    "bake them into the factory instead"
+                )
+            if n_rows is None:
+                raise ValueError("factory= registration requires n_rows=")
+            rows = int(n_rows)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("farm is closed")
+            tenant = self._tenants.get(key)
+            if tenant is None:
+                self._tenants[key] = _Tenant(key, rows, float(weight))
+            else:
+                tenant.n_rows = rows
+                tenant.weight = float(weight)
+        self.registry.register(key, factory)
+
+    def registered_keys(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    # ------------------------------------------------------------------ #
+    # client side                                                        #
+    # ------------------------------------------------------------------ #
+    def submit(self, key: str, b: np.ndarray) -> "Future[ServeResult]":
+        """Enqueue one right-hand side for operator ``key``.
+
+        Returns a ``Future[ServeResult]``.  Validation failures resolve
+        the future with ``ValueError`` (mirroring
+        :meth:`SolveScheduler.submit`); a full tenant queue raises
+        :class:`RejectedError` *synchronously* — backpressure must reach
+        the caller before the work is accepted, not inside the future.
+        """
+        with self._lock:
+            tenant = self._tenants.get(key)
+        if tenant is None:
+            raise KeyError(f"no operator registered under key {key!r}")
+        sink = self.telemetry.sink(key)
+        try:
+            column = validate_rhs(b, tenant.n_rows)
+        except ValueError as exc:
+            failed: "Future[ServeResult]" = Future()
+            failed.set_exception(exc)
+            sink.record_rejected()
+            return failed
+        request = PendingRequest(column)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("farm is closed; no new requests accepted")
+            if len(tenant.queue) >= self.queue_depth:
+                hint = self._retry_after_ms_locked(tenant)
+                self._wakeup.notify_all()
+                rejected = True
+            else:
+                tenant.queue.append(request)
+                self._ensure_workers_locked()
+                self._wakeup.notify_all()
+                rejected = False
+        if rejected:
+            self.telemetry.record_rejected(key)
+            raise RejectedError(
+                f"tenant {key!r} queue is full ({self.queue_depth} pending); "
+                f"retry in ~{hint:.0f} ms",
+                retry_after_ms=hint,
+            )
+        sink.record_submitted()
+        return request.future
+
+    async def asubmit(self, key: str, b: np.ndarray) -> ServeResult:
+        """Awaitable :meth:`submit` — the ``asyncio`` front of the farm.
+
+        The request rides the same queues and worker pool; only the
+        waiting is non-blocking.  :class:`RejectedError` raises
+        immediately (before any awaiting), validation errors surface as
+        ``ValueError`` when awaited.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(key, b))
+
+    def _retry_after_ms_locked(self, tenant: _Tenant) -> float:
+        """Drain-time estimate for one queue-depth of backlog (a hint)."""
+        stats = self.telemetry.tenant(tenant.key).snapshot()
+        per_batch_ms = stats.solve.mean_ms
+        if per_batch_ms <= 0.0:
+            per_batch_ms = max(self.max_wait_seconds * 1e3, 1.0)
+        session = self.registry.peek(tenant.key)
+        width = session.max_block if session is not None else 1
+        batches = max(1.0, len(tenant.queue) / max(1, width))
+        return per_batch_ms * batches / self.workers
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def pending(self, key: Optional[str] = None) -> int:
+        """Queued requests — one tenant's, or the whole farm's."""
+        with self._lock:
+            if key is not None:
+                tenant = self._tenants.get(key)
+                return len(tenant.queue) if tenant is not None else 0
+            return sum(len(t.queue) for t in self._tenants.values())
+
+    def stats(self) -> FarmStats:
+        """Snapshot the whole farm: fleet + per-tenant + registry state."""
+        with self._lock:
+            weights = {k: t.weight for k, t in self._tenants.items()}
+            depths = {k: len(t.queue) for k, t in self._tenants.items()}
+        return self.telemetry.snapshot(
+            weights=weights,
+            queue_depths=depths,
+            sessions_live=self.registry.live_count,
+            estimated_session_bytes=self.registry.estimated_bytes(),
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # worker pool                                                        #
+    # ------------------------------------------------------------------ #
+    def _ensure_workers_locked(self) -> None:
+        # Lazy like the scheduler's dispatcher: an idle farm pins no
+        # threads until its first request.
+        if self._threads:
+            return
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"repro-farm-worker-{self.name}-{i}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _pick_tenant_locked(self) -> Optional[_Tenant]:
+        """The neediest ready tenant (non-empty queue, no worker on it)."""
+        ready = [
+            t for t in self._tenants.values() if t.queue and not t.busy
+        ]
+        if not ready:
+            return None
+        if self.fairness == "fifo":
+            return min(ready, key=lambda t: t.queue[0].enqueued_at)
+        # Deficit-style weighted round-robin: serve the tenant with the
+        # smallest served-work/weight ratio, ties broken by oldest head
+        # request.  A hot tenant's ratio races ahead, so idle-then-active
+        # tenants always win the next worker — that is the fairness.
+        return min(
+            ready, key=lambda t: (t.served / t.weight, t.queue[0].enqueued_at)
+        )
+
+    def _worker(self) -> None:
+        while True:
+            with self._wakeup:
+                tenant = self._pick_tenant_locked()
+                while tenant is None:
+                    if self._closed and not any(
+                        t.queue for t in self._tenants.values()
+                    ):
+                        return
+                    self._wakeup.wait(timeout=0.1)
+                    tenant = self._pick_tenant_locked()
+                tenant.busy = True
+            try:
+                self._serve_one(tenant)
+            finally:
+                with self._wakeup:
+                    tenant.busy = False
+                    self._wakeup.notify_all()
+
+    def _serve_one(self, tenant: _Tenant) -> None:
+        """Batch and dispatch one round of ``tenant``'s queue (tenant is busy).
+
+        Any exception is contained: session build failures resolve the
+        queued futures (never raise into the worker loop), and
+        :func:`run_batch` already forwards solver errors to the futures.
+        """
+        try:
+            session = self.registry.get_or_create(tenant.key)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the futures
+            # The factory (warm-up) failed: fail this tenant's currently
+            # queued requests — batchmates-to-be of the broken session —
+            # and keep the farm serving everyone else.
+            with self._wakeup:
+                doomed = list(tenant.queue)
+                tenant.queue.clear()
+            for request in doomed:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+            return
+        batch = self._collect_batch(tenant, session)
+        if not batch:
+            return
+        run_batch(session, batch, self.telemetry.sink(tenant.key))
+        with self._lock:
+            tenant.served += len(batch)
+
+    def _collect_batch(
+        self, tenant: _Tenant, session: OperatorSession
+    ) -> List[PendingRequest]:
+        """Pop one dispatch's worth of ``tenant``'s queue (micro-batching).
+
+        Mirrors :meth:`SolveScheduler._collect_batch`: wait up to the
+        micro-batching window for the queue to fill to the session's
+        ``max_block`` — skipped when more arrivals cannot change the
+        dispatch (width-1 session, sequential policy) or the farm is
+        draining — then let the policy choose the width.
+        """
+        with self._wakeup:
+            can_batch = (
+                session.max_block > 1
+                and getattr(session.policy, "mode", "auto") != "sequential"
+            )
+            if can_batch and not self._closed:
+                deadline = time.perf_counter() + self.max_wait_seconds
+                while len(tenant.queue) < session.max_block and not self._closed:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(timeout=remaining)
+            if not tenant.queue:
+                return []
+            width = session.policy.block_width(len(tenant.queue))
+            popped = [tenant.queue.popleft() for _ in range(width)]
+        return [
+            request
+            for request in popped
+            if request.future.set_running_or_notify_cancel()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, stop the workers, release the sessions.
+
+        ``drain=True`` (default) serves everything already queued first;
+        ``drain=False`` fails queued requests with :class:`RuntimeError`.
+        """
+        with self._wakeup:
+            if self._closed and not self._threads:
+                return
+            self._closed = True
+            abandoned: List[PendingRequest] = []
+            if not drain:
+                for tenant in self._tenants.values():
+                    abandoned.extend(tenant.queue)
+                    tenant.queue.clear()
+            threads = list(self._threads)
+            self._threads.clear()
+            self._wakeup.notify_all()
+        for request in abandoned:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    RuntimeError("farm closed before the request was served")
+                )
+        for thread in threads:
+            if threading.current_thread() is not thread:
+                thread.join(timeout=timeout)
+        self.registry.release_all()
+
+    def __enter__(self) -> "SolverFarm":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SolverFarm {self.name!r} tenants={len(self._tenants)} "
+            f"workers={self.workers} fairness={self.fairness!r} "
+            f"sessions={self.registry.live_count}/{self.registry.max_sessions}>"
+        )

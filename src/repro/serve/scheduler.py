@@ -50,7 +50,7 @@ from .telemetry import ServeStats, ServeTelemetry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .session import OperatorSession
 
-__all__ = ["ServeResult", "SolveScheduler"]
+__all__ = ["PendingRequest", "ServeResult", "SolveScheduler", "run_batch"]
 
 
 @dataclass
@@ -83,12 +83,32 @@ class ServeResult:
         return self.status == SolverStatus.CONVERGED
 
     @property
+    def residual_history(self) -> ConvergenceHistory:
+        """:class:`~repro.solvers.result.ResultLike` name for ``history``."""
+        return self.history
+
+    @property
     def latency_seconds(self) -> float:
         """Submit-to-resolution latency as the client experienced it."""
         return self.queue_wait_seconds + self.solve_seconds
 
+    def summary(self) -> str:
+        """Solver summary plus one line of serving metadata
+        (:class:`~repro.solvers.result.ResultLike`)."""
+        lines = [
+            self.solve_result.summary(),
+            f"  served: batch of {self.batch_size}, "
+            f"queue wait {self.queue_wait_seconds * 1e3:.1f} ms, "
+            f"solve {self.solve_seconds * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)
 
-class _PendingRequest:
+
+class PendingRequest:
+    """One queued right-hand side: the validated column, its future, and
+    the enqueue timestamp (shared by :class:`SolveScheduler` queues and the
+    farm's per-tenant queues)."""
+
     __slots__ = ("b", "future", "enqueued_at")
 
     def __init__(self, b: np.ndarray) -> None:
@@ -138,16 +158,15 @@ class SolveScheduler:
         self.max_wait_seconds = float(max_wait_ms) / 1e3
         self.policy = policy
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
-        self._queue: Deque[_PendingRequest] = deque()
+        self._queue: Deque[PendingRequest] = deque()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
-        self._dispatcher = threading.Thread(
-            target=self._run,
-            name=f"repro-serve-dispatcher-{session.name}",
-            daemon=True,
-        )
-        self._dispatcher.start()
+        # The dispatcher thread starts lazily on the first submit():  a
+        # registry-cached warm session that is only ever driven through the
+        # farm's shared worker pool (or through direct solve()/solve_many()
+        # calls) never pins a thread of its own.
+        self._dispatcher: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
     # client side                                                        #
@@ -166,11 +185,18 @@ class SolveScheduler:
             failed.set_exception(exc)
             self.telemetry.record_rejected()
             return failed
-        request = _PendingRequest(column)
+        request = PendingRequest(column)
         with self._wakeup:
             if self._closed:
                 raise RuntimeError("scheduler is closed; no new requests accepted")
             self._queue.append(request)
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._run,
+                    name=f"repro-serve-dispatcher-{self._session.name}",
+                    daemon=True,
+                )
+                self._dispatcher.start()
             self._wakeup.notify_all()
         self.telemetry.record_submitted()
         return request.future
@@ -205,7 +231,8 @@ class SolveScheduler:
         ``drain=False`` fails them with :class:`RuntimeError`.
         """
         with self._wakeup:
-            if self._closed and not self._dispatcher.is_alive():
+            dispatcher = self._dispatcher
+            if self._closed and (dispatcher is None or not dispatcher.is_alive()):
                 return
             self._closed = True
             if not drain:
@@ -219,8 +246,8 @@ class SolveScheduler:
                 request.future.set_exception(
                     RuntimeError("scheduler closed before the request was served")
                 )
-        if threading.current_thread() is not self._dispatcher:
-            self._dispatcher.join(timeout=timeout)
+        if dispatcher is not None and threading.current_thread() is not dispatcher:
+            dispatcher.join(timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # dispatcher                                                         #
@@ -233,7 +260,7 @@ class SolveScheduler:
             if batch:
                 self._dispatch(batch)
 
-    def _collect_batch(self) -> Optional[List[_PendingRequest]]:
+    def _collect_batch(self) -> Optional[List[PendingRequest]]:
         """Block until a batch is due; pop and return it (None = shut down)."""
         with self._wakeup:
             while not self._queue:
@@ -274,79 +301,98 @@ class SolveScheduler:
                 batch.append(request)
         return batch
 
-    def _dispatch(self, batch: List[_PendingRequest]) -> None:
-        dispatched_at = time.perf_counter()
-        queue_waits = [dispatched_at - r.enqueued_at for r in batch]
-        width = len(batch)
-        B = np.empty((self._session.n_rows, width), dtype=np.float64, order="F")
-        for c, request in enumerate(batch):
-            B[:, c] = request.b
+    def _dispatch(self, batch: List[PendingRequest]) -> None:
+        run_batch(self._session, batch, self.telemetry)
 
-        failed = 0
-        retried = 0
-        try:
-            start = time.perf_counter()
-            multi = self._session._solve_block(B)
-            solve_seconds = time.perf_counter() - start
-            columns = multi.split()
-            solve_times = [solve_seconds] * width
-            retry_errors: Dict[int, BaseException] = {}
-            if width > 1 and self._session.retry_failed:
-                for c, column in enumerate(columns):
-                    if column.status == SolverStatus.CONVERGED:
-                        continue
-                    # Batch-failure containment: re-solve the column alone
-                    # through the width-1 canonical path (see module doc).
-                    # A retry failure is attributable to exactly this
-                    # request, so it must not touch the batchmates.
-                    start = time.perf_counter()
-                    try:
-                        retry = self._session._solve_block(
-                            np.asfortranarray(B[:, c : c + 1])
-                        ).split()[0]
-                    except Exception as exc:  # noqa: BLE001 - per-column
-                        retry_errors[c] = exc
-                    else:
-                        retry.details["retried_sequential"] = True
-                        columns[c] = retry
-                    solve_times[c] += time.perf_counter() - start
-                    retried += 1
-        except Exception as exc:  # noqa: BLE001 - forwarded to the futures
-            solve_seconds = time.perf_counter() - dispatched_at
-            solve_times = [solve_seconds] * width
-            failed = width
-            for request in batch:
-                request.future.set_exception(exc)
-        else:
-            for c, request in enumerate(batch):
-                column = columns[c]
-                details: Dict[str, object] = {
-                    "block_iterations": multi.block_iterations
-                }
-                if c in retry_errors:
-                    # The retry itself blew up: the request still resolves
-                    # with its (non-converged) batch result; only the
-                    # retry error is recorded for this one column.
-                    details["retry_error"] = repr(retry_errors[c])
-                request.future.set_result(
-                    ServeResult(
-                        x=column.x,
-                        status=column.status,
-                        iterations=column.iterations,
-                        relative_residual=column.relative_residual,
-                        relative_residual_fp64=column.relative_residual_fp64,
-                        history=column.history,
-                        solve_result=column,
-                        queue_wait_seconds=queue_waits[c],
-                        solve_seconds=solve_times[c],
-                        batch_size=width,
-                        details=details,
-                    )
+
+def run_batch(
+    session: "OperatorSession",
+    batch: List[PendingRequest],
+    telemetry: ServeTelemetry,
+) -> None:
+    """Run one assembled batch and resolve its futures (the dispatch core).
+
+    Shared by the per-session :class:`SolveScheduler` dispatcher and the
+    farm's worker pool (:mod:`repro.serve.farm`): assemble the column
+    block, run the batched solve through ``session._solve_block`` (pinned
+    context, pooled workspaces), apply the width-1 retry containment to
+    non-converged columns, demultiplex per-column :class:`ServeResult`
+    objects into the request futures, and account the batch in
+    ``telemetry``.  Solver exceptions are forwarded to every future of the
+    batch; this function itself never raises.
+    """
+    dispatched_at = time.perf_counter()
+    queue_waits = [dispatched_at - r.enqueued_at for r in batch]
+    width = len(batch)
+    B = np.empty((session.n_rows, width), dtype=np.float64, order="F")
+    for c, request in enumerate(batch):
+        B[:, c] = request.b
+
+    failed = 0
+    retried = 0
+    try:
+        start = time.perf_counter()
+        multi = session._solve_block(B)
+        solve_seconds = time.perf_counter() - start
+        columns = multi.split()
+        solve_times = [solve_seconds] * width
+        retry_errors: Dict[int, BaseException] = {}
+        if width > 1 and session.retry_failed:
+            for c, column in enumerate(columns):
+                if column.status == SolverStatus.CONVERGED:
+                    continue
+                # Batch-failure containment: re-solve the column alone
+                # through the width-1 canonical path (see module doc).
+                # A retry failure is attributable to exactly this
+                # request, so it must not touch the batchmates.
+                start = time.perf_counter()
+                try:
+                    retry = session._solve_block(
+                        np.asfortranarray(B[:, c : c + 1])
+                    ).split()[0]
+                except Exception as exc:  # noqa: BLE001 - per-column
+                    retry_errors[c] = exc
+                else:
+                    retry.details["retried_sequential"] = True
+                    columns[c] = retry
+                solve_times[c] += time.perf_counter() - start
+                retried += 1
+    except Exception as exc:  # noqa: BLE001 - forwarded to the futures
+        solve_seconds = time.perf_counter() - dispatched_at
+        solve_times = [solve_seconds] * width
+        failed = width
+        for request in batch:
+            request.future.set_exception(exc)
+    else:
+        for c, request in enumerate(batch):
+            column = columns[c]
+            details: Dict[str, object] = {
+                "block_iterations": multi.block_iterations
+            }
+            if c in retry_errors:
+                # The retry itself blew up: the request still resolves
+                # with its (non-converged) batch result; only the
+                # retry error is recorded for this one column.
+                details["retry_error"] = repr(retry_errors[c])
+            request.future.set_result(
+                ServeResult(
+                    x=column.x,
+                    status=column.status,
+                    iterations=column.iterations,
+                    relative_residual=column.relative_residual,
+                    relative_residual_fp64=column.relative_residual_fp64,
+                    history=column.history,
+                    solve_result=column,
+                    queue_wait_seconds=queue_waits[c],
+                    solve_seconds=solve_times[c],
+                    batch_size=width,
+                    details=details,
                 )
-        self.telemetry.record_batch(
-            queue_waits,
-            solve_times,
-            block_iterations=0 if failed else multi.block_iterations,
-            failed=failed,
-            retried=retried,
-        )
+            )
+    telemetry.record_batch(
+        queue_waits,
+        solve_times,
+        block_iterations=0 if failed else multi.block_iterations,
+        failed=failed,
+        retried=retried,
+    )

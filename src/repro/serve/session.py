@@ -49,7 +49,51 @@ from .policy import BatchingPolicy
 from .scheduler import SolveScheduler
 from .telemetry import ServeStats, ServeTelemetry
 
-__all__ = ["OperatorSession"]
+__all__ = ["OperatorSession", "validate_rhs"]
+
+
+def validate_rhs(b: np.ndarray, n_rows: int) -> np.ndarray:
+    """Normalize one right-hand side to an owned length-``n_rows`` column.
+
+    The single validation path of the serve layer: shape-checks, rejects
+    non-finite entries (they would poison a shared Krylov basis — and a
+    direct NaN solve is equally meaningless), and copies so a caller
+    mutating its array afterwards cannot corrupt a queued batch.  Raises
+    :class:`ValueError` on invalid input.  Module-level so the farm can
+    validate against a registered operator's dimensions without forcing
+    its (possibly evicted) session to be rebuilt first.
+    """
+    column = np.asarray(b, dtype=np.float64)
+    if column.ndim == 2 and column.shape[1] == 1:
+        column = column[:, 0]
+    if column.ndim != 1 or column.shape[0] != n_rows:
+        raise ValueError(
+            f"right-hand side must be a length-{n_rows} vector, "
+            f"got shape {np.asarray(b).shape}"
+        )
+    if not np.all(np.isfinite(column)):
+        raise ValueError(
+            "right-hand side contains non-finite entries; rejecting it "
+            "before it can poison a shared Krylov basis"
+        )
+    return np.array(column, copy=True)
+
+
+def _nbytes_of(obj: object, depth: int = 2) -> int:
+    """Estimated array bytes held by ``obj`` (recursing into attributes,
+    dict values and the basis :class:`MultiVector` of a workspace)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if depth <= 0:
+        return 0
+    if isinstance(obj, dict):
+        return sum(_nbytes_of(v, depth - 1) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(_nbytes_of(v, depth - 1) for v in obj)
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return sum(_nbytes_of(v, depth - 1) for v in attrs.values())
+    return 0
 
 
 class OperatorSession:
@@ -92,8 +136,8 @@ class OperatorSession:
         cost of one extra sequential solve.  Disable to surface raw batch
         statuses.
     max_block / max_wait_ms / policy:
-        Micro-batching knobs, defaulting from ``ReproConfig.serve_max_block``
-        / ``serve_max_wait_ms`` / ``serve_policy``.  ``policy`` accepts a
+        Micro-batching knobs, defaulting from ``ReproConfig.serve``
+        (:class:`~repro.config.ServeConfig`).  ``policy`` accepts a
         mode string (``"auto"`` / ``"block"`` / ``"sequential"``) or a
         ready :class:`~repro.serve.policy.BatchingPolicy`.
     warmup:
@@ -136,10 +180,10 @@ class OperatorSession:
         self.restart = cfg.restart if restart is None else int(restart)
         self.tol = cfg.rtol if tol is None else float(tol)
         self.max_restarts = cfg.max_restarts if max_restarts is None else int(max_restarts)
-        self.max_block = cfg.serve_max_block if max_block is None else int(max_block)
+        self.max_block = cfg.serve.max_block if max_block is None else int(max_block)
         if self.max_block < 1:
             raise ValueError("max_block must be at least 1")
-        wait = cfg.serve_max_wait_ms if max_wait_ms is None else float(max_wait_ms)
+        wait = cfg.serve.max_wait_ms if max_wait_ms is None else float(max_wait_ms)
         self.retry_failed = bool(retry_failed)
         self.name = name or f"serve-{matrix.name or 'operator'}"
 
@@ -207,7 +251,7 @@ class OperatorSession:
         if isinstance(policy, BatchingPolicy):
             self.policy = policy
         else:
-            mode = policy if policy is not None else cfg.serve_policy
+            mode = policy if policy is not None else cfg.serve.policy
             self.policy = BatchingPolicy(
                 self._matrix,
                 self.context.cost_model,
@@ -257,20 +301,28 @@ class OperatorSession:
         its array afterwards cannot corrupt a queued batch.  Raises
         :class:`ValueError` on invalid input.
         """
-        column = np.asarray(b, dtype=np.float64)
-        if column.ndim == 2 and column.shape[1] == 1:
-            column = column[:, 0]
-        if column.ndim != 1 or column.shape[0] != self.n_rows:
-            raise ValueError(
-                f"right-hand side must be a length-{self.n_rows} vector, "
-                f"got shape {np.asarray(b).shape}"
+        return validate_rhs(b, self.n_rows)
+
+    def estimated_bytes(self) -> int:
+        """Estimated resident bytes of the session's amortizable state.
+
+        Counts the stored working-precision matrix copies (CSR arrays and
+        any cached precision casts) and the pooled Krylov workspaces —
+        the memory the :class:`~repro.serve.registry.SessionRegistry`
+        budget accounts for when deciding LRU eviction.  An estimate, not
+        an audit: backend-internal plan caches are keyed on the matrices
+        and die with them, but are not themselves walked.
+        """
+        total = 0
+        for matrix in self._matrices:
+            total += (
+                matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
             )
-        if not np.all(np.isfinite(column)):
-            raise ValueError(
-                "right-hand side contains non-finite entries; rejecting it "
-                "before it can poison a shared Krylov basis"
-            )
-        return np.array(column, copy=True)
+        for ws in self._workspaces.values():
+            total += _nbytes_of(ws)
+        if self._single_workspace is not None:
+            total += _nbytes_of(self._single_workspace)
+        return total
 
     def workspace_for(self, width: int) -> "BlockGmresWorkspace | GmresWorkspace":
         """The pooled Krylov workspace for a dispatch of ``width`` columns.
@@ -393,6 +445,22 @@ class OperatorSession:
         """
         return self.scheduler.submit(b)
 
+    async def asubmit(self, b: np.ndarray) -> "object":
+        """Awaitable :meth:`submit`: resolve one request on the event loop.
+
+        The ``asyncio`` front of the ``Future``-based scheduler — the
+        request still rides the same micro-batching queue and worker
+        machinery; only the waiting is non-blocking::
+
+            result = await session.asubmit(b)
+
+        Validation errors surface as the usual :class:`ValueError` when
+        awaited.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.scheduler.submit(b))
+
     def solve(self, b: np.ndarray) -> SolveResult:
         """Synchronous direct solve of one right-hand side (no batching).
 
@@ -452,6 +520,19 @@ class OperatorSession:
         """Shut the scheduler down; ``drain=True`` finishes queued work."""
         self.scheduler.close(drain=drain, timeout=timeout)
         self._closed = True
+
+    def release(self, *, timeout: Optional[float] = None) -> None:
+        """Retire the session from service without invalidating in-flight work.
+
+        The eviction path of the :class:`~repro.serve.registry.SessionRegistry`:
+        the scheduler is shut down (draining its own queue), so no *new*
+        ``submit()`` is accepted — but unlike :meth:`close` the session is
+        **not** marked closed, so a farm worker holding a reference across
+        the eviction can still finish its current dispatch through
+        ``_solve_block``.  The warmed plans and workspaces are freed when
+        the last reference is dropped.
+        """
+        self.scheduler.close(drain=True, timeout=timeout)
 
     def __enter__(self) -> "OperatorSession":
         return self

@@ -28,7 +28,16 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 import numpy as np
 
-__all__ = ["LatencySummary", "ServeStats", "ServeTelemetry", "LATENCY_WINDOW"]
+__all__ = [
+    "LatencySummary",
+    "ServeStats",
+    "ServeTelemetry",
+    "TelemetryFanout",
+    "TenantStats",
+    "FarmStats",
+    "FarmTelemetry",
+    "LATENCY_WINDOW",
+]
 
 #: Samples kept per latency series for the percentile summaries.  A
 #: long-lived session serves an unbounded number of requests; the lifetime
@@ -242,3 +251,216 @@ class ServeTelemetry:
                 elapsed_seconds=elapsed,
                 block_iterations=self._block_iterations,
             )
+
+
+class TelemetryFanout:
+    """Forward the recording half of :class:`ServeTelemetry` to many sinks.
+
+    The farm accounts every event twice — once in the tenant's own
+    telemetry, once in the fleet-wide aggregate — so both levels report
+    exact counters and true (not re-derived) latency percentiles.  A
+    fanout bundles the two sinks behind the single-telemetry interface
+    :func:`~repro.serve.scheduler.run_batch` expects; ``snapshot()``
+    reads the *first* sink (the tenant).
+    """
+
+    def __init__(self, *sinks: ServeTelemetry) -> None:
+        if not sinks:
+            raise ValueError("TelemetryFanout needs at least one sink")
+        self._sinks = sinks
+
+    def record_submitted(self) -> None:
+        for sink in self._sinks:
+            sink.record_submitted()
+
+    def record_rejected(self) -> None:
+        for sink in self._sinks:
+            sink.record_rejected()
+
+    def record_batch(self, queue_waits, solve_seconds, **kwargs) -> None:
+        for sink in self._sinks:
+            sink.record_batch(queue_waits, solve_seconds, **kwargs)
+
+    def snapshot(self) -> ServeStats:
+        return self._sinks[0].snapshot()
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's slice of a :class:`FarmStats` snapshot.
+
+    ``fairness_share`` is the tenant's fraction of all completed fleet
+    requests; ``expected_share`` its registered weight over the total
+    registered weight — the two numbers whose divergence the fairness
+    accounting watches (a starved tenant shows ``fairness_share`` well
+    below ``expected_share`` while it has queued work).
+    """
+
+    key: str
+    weight: float
+    queue_depth: int
+    rejected: int
+    evictions: int
+    fairness_share: float
+    expected_share: float
+    serve: ServeStats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "weight": self.weight,
+            "queue_depth": self.queue_depth,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "fairness_share": self.fairness_share,
+            "expected_share": self.expected_share,
+            "serve": self.serve.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FarmStats:
+    """Immutable snapshot of a :class:`~repro.serve.farm.SolverFarm`.
+
+    ``fleet`` aggregates every request of every tenant (RHS/s, latency
+    percentiles, occupancy) from its own exact counters — it is not a
+    re-summation of the per-tenant snapshots.  ``tenants`` maps operator
+    key to :class:`TenantStats`.
+    """
+
+    fleet: ServeStats
+    tenants: Dict[str, TenantStats]
+    sessions_live: int
+    sessions_created: int
+    evictions: int
+    rejections: int
+    estimated_session_bytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by ``BENCH_farm.json``)."""
+        return {
+            "fleet": self.fleet.as_dict(),
+            "tenants": {k: t.as_dict() for k, t in sorted(self.tenants.items())},
+            "sessions_live": self.sessions_live,
+            "sessions_created": self.sessions_created,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+            "estimated_session_bytes": self.estimated_session_bytes,
+        }
+
+
+class FarmTelemetry:
+    """Thread-safe fleet-and-tenant accumulator of a solver farm.
+
+    Owns one :class:`ServeTelemetry` per tenant plus a fleet-wide one;
+    :meth:`sink` hands the farm a :class:`TelemetryFanout` recording into
+    both.  Registry lifecycle events (session creations, LRU evictions)
+    and admission rejections are counted here as well, so one
+    :meth:`snapshot` call captures the whole observable state of the
+    farm.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fleet = ServeTelemetry()
+        self._tenants: Dict[str, ServeTelemetry] = {}
+        self._sinks: Dict[str, TelemetryFanout] = {}
+        self._rejected: Dict[str, int] = {}
+        self._evictions: Dict[str, int] = {}
+        self._creations = 0
+
+    # ------------------------------------------------------------------ #
+    # recording                                                          #
+    # ------------------------------------------------------------------ #
+    def tenant(self, key: str) -> ServeTelemetry:
+        """The per-tenant telemetry for ``key`` (created on first use)."""
+        with self._lock:
+            telemetry = self._tenants.get(key)
+            if telemetry is None:
+                telemetry = self._tenants[key] = ServeTelemetry()
+            return telemetry
+
+    def sink(self, key: str) -> TelemetryFanout:
+        """A recording sink feeding both ``key``'s telemetry and the fleet's."""
+        with self._lock:
+            fanout = self._sinks.get(key)
+            if fanout is None:
+                tenant = self._tenants.get(key)
+                if tenant is None:
+                    tenant = self._tenants[key] = ServeTelemetry()
+                fanout = self._sinks[key] = TelemetryFanout(tenant, self._fleet)
+            return fanout
+
+    def record_rejected(self, key: str) -> None:
+        """One admission rejection (backpressure) for tenant ``key``."""
+        with self._lock:
+            self._rejected[key] = self._rejected.get(key, 0) + 1
+        self.sink(key).record_rejected()
+
+    def record_eviction(self, key: str) -> None:
+        """The registry evicted ``key``'s warmed session."""
+        with self._lock:
+            self._evictions[key] = self._evictions.get(key, 0) + 1
+
+    def record_creation(self, key: str) -> None:
+        """The registry built (or rebuilt after eviction) ``key``'s session."""
+        with self._lock:
+            self._creations += 1
+
+    # ------------------------------------------------------------------ #
+    # reading                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return sum(self._evictions.values())
+
+    def snapshot(
+        self,
+        *,
+        weights: Optional[Dict[str, float]] = None,
+        queue_depths: Optional[Dict[str, int]] = None,
+        sessions_live: int = 0,
+        estimated_session_bytes: int = 0,
+    ) -> FarmStats:
+        """Freeze everything into a :class:`FarmStats`.
+
+        ``weights`` / ``queue_depths`` carry the farm's current per-tenant
+        scheduling state (registered weight, queued requests), which lives
+        in the farm, not here; tenants missing from the maps default to
+        weight 1 and an empty queue.
+        """
+        weights = weights or {}
+        queue_depths = queue_depths or {}
+        with self._lock:
+            tenant_telemetry = dict(self._tenants)
+            rejected = dict(self._rejected)
+            evictions = dict(self._evictions)
+            creations = self._creations
+        fleet = self._fleet.snapshot()
+        total_weight = sum(weights.get(key, 1.0) for key in tenant_telemetry) or 1.0
+        completed = fleet.requests_completed
+        tenants: Dict[str, TenantStats] = {}
+        for key, telemetry in tenant_telemetry.items():
+            stats = telemetry.snapshot()
+            tenants[key] = TenantStats(
+                key=key,
+                weight=weights.get(key, 1.0),
+                queue_depth=queue_depths.get(key, 0),
+                rejected=rejected.get(key, 0),
+                evictions=evictions.get(key, 0),
+                fairness_share=(
+                    stats.requests_completed / completed if completed else 0.0
+                ),
+                expected_share=weights.get(key, 1.0) / total_weight,
+                serve=stats,
+            )
+        return FarmStats(
+            fleet=fleet,
+            tenants=tenants,
+            sessions_live=sessions_live,
+            sessions_created=creations,
+            evictions=sum(evictions.values()),
+            rejections=sum(rejected.values()),
+            estimated_session_bytes=estimated_session_bytes,
+        )

@@ -12,7 +12,13 @@
   half/single/double refinement, the paper's future-work extension.
 """
 
-from .result import ConvergenceHistory, MultiSolveResult, SolveResult, SolverStatus
+from .result import (
+    ConvergenceHistory,
+    MultiSolveResult,
+    ResultLike,
+    SolveResult,
+    SolverStatus,
+)
 from .status import LossOfAccuracyTest, MaxIterationsTest, ResidualTest, StagnationTest
 from .gmres import gmres, run_gmres_cycle, GmresWorkspace, CycleOutcome
 from .gmres_ir import gmres_ir
@@ -30,6 +36,7 @@ from .block_gmres import (
 
 __all__ = [
     "ConvergenceHistory",
+    "ResultLike",
     "SolveResult",
     "MultiSolveResult",
     "SolverStatus",

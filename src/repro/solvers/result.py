@@ -10,14 +10,21 @@ status, iteration/restart counts, the per-kernel :class:`KernelTimer`
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..perfmodel.timer import KernelTimer
 
-__all__ = ["SolverStatus", "ConvergenceHistory", "SolveResult", "MultiSolveResult"]
+__all__ = [
+    "SolverStatus",
+    "ConvergenceHistory",
+    "ResultLike",
+    "SolveResult",
+    "MultiSolveResult",
+]
 
 
 class SolverStatus(str, enum.Enum):
@@ -96,6 +103,44 @@ class ConvergenceHistory:
         return out
 
 
+@runtime_checkable
+class ResultLike(Protocol):
+    """The one result surface every solve-shaped outcome satisfies.
+
+    :class:`SolveResult` (one right-hand side), :class:`MultiSolveResult`
+    (a batched block) and :class:`repro.serve.ServeResult` (one served
+    request) all expose this protocol, so code consuming results — the
+    serve layer, benchmarks, user callbacks — can be written once against
+    it:
+
+    * ``status`` — terminal :class:`SolverStatus` (for a batch: the
+      aggregate — ``CONVERGED`` only if every column converged, otherwise
+      the first non-converged column's status);
+    * ``converged`` — ``status == CONVERGED`` (for a batch: all columns);
+    * ``iterations`` — iteration count (per-column array for a batch);
+    * ``residual_history`` — the :class:`ConvergenceHistory` (a list of
+      them, one per column, for a batch);
+    * ``summary()`` — one-paragraph human-readable description.
+
+    ``isinstance(result, ResultLike)`` works at runtime (the protocol is
+    ``runtime_checkable``).
+    """
+
+    @property
+    def status(self) -> SolverStatus: ...
+
+    @property
+    def converged(self) -> bool: ...
+
+    @property
+    def iterations(self): ...
+
+    @property
+    def residual_history(self): ...
+
+    def summary(self) -> str: ...
+
+
 @dataclass
 class SolveResult:
     """Outcome of a linear solve.
@@ -144,6 +189,12 @@ class SolveResult:
     @property
     def converged(self) -> bool:
         return self.status == SolverStatus.CONVERGED
+
+    @property
+    def residual_history(self) -> ConvergenceHistory:
+        """:class:`ConvergenceHistory` of the run (:class:`ResultLike` name
+        for the ``history`` field)."""
+        return self.history
 
     @property
     def model_seconds(self) -> float:
@@ -228,8 +279,36 @@ class MultiSolveResult:
         return self.X.shape[1]
 
     @property
-    def all_converged(self) -> bool:
+    def status(self) -> SolverStatus:
+        """Aggregate terminal status (:class:`ResultLike`): ``CONVERGED``
+        only if every column converged, otherwise the first non-converged
+        column's status (per-column detail stays in ``statuses``)."""
+        for s in self.statuses:
+            if s != SolverStatus.CONVERGED:
+                return s
+        return SolverStatus.CONVERGED
+
+    @property
+    def converged(self) -> bool:
+        """Whether *every* column converged (:class:`ResultLike` name)."""
         return all(s == SolverStatus.CONVERGED for s in self.statuses)
+
+    @property
+    def residual_history(self) -> List[ConvergenceHistory]:
+        """Per-column histories (:class:`ResultLike` name for ``histories``)."""
+        return self.histories
+
+    @property
+    def all_converged(self) -> bool:
+        """Deprecated alias of :attr:`converged` (the divergent name from
+        before the unified result protocol)."""
+        warnings.warn(
+            "MultiSolveResult.all_converged is deprecated; use the "
+            "ResultLike-uniform MultiSolveResult.converged instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.converged
 
     @property
     def model_seconds(self) -> float:

@@ -1,9 +1,18 @@
 """Tests for repro.config."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
-from repro.config import ReproConfig, default_config, get_config, rng, set_config
+from repro.config import (
+    ReproConfig,
+    ServeConfig,
+    default_config,
+    get_config,
+    rng,
+    set_config,
+)
 
 
 class TestDefaults:
@@ -60,6 +69,78 @@ class TestBackendSelection:
     def test_set_config_overrides_backend(self):
         set_config(backend="scipy")
         assert get_config().backend == "scipy"
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        serve = ReproConfig().serve
+        assert serve == ServeConfig()
+        assert serve.max_block == 8
+        assert serve.policy == "auto"
+        assert serve.max_sessions == 8
+        assert serve.max_session_bytes is None
+        assert serve.queue_depth == 64
+        assert serve.fairness == "weighted"
+        assert serve.workers == 2
+
+    def test_is_frozen(self):
+        with pytest.raises(Exception):
+            ServeConfig().max_block = 2  # type: ignore[misc]
+
+    def test_set_config_with_serve_bundle(self):
+        set_config(serve=ServeConfig(max_block=4, fairness="fifo"))
+        assert get_config().serve.max_block == 4
+        assert get_config().serve.fairness == "fifo"
+        # Untouched fields keep their defaults.
+        assert get_config().serve.queue_depth == 64
+
+    def test_replace_round_trips_canonical_fields(self):
+        cfg = replace(ReproConfig(), serve=ServeConfig(workers=5))
+        assert cfg.serve.workers == 5
+        assert replace(cfg).serve == cfg.serve
+
+
+class TestDeprecatedFlatServeFields:
+    """The pre-ServeConfig flat spellings still work but warn (pinned)."""
+
+    def test_constructor_keyword_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="serve_max_block"):
+            cfg = ReproConfig(serve_max_block=3)
+        assert cfg.serve.max_block == 3
+
+    def test_read_property_warns(self):
+        cfg = ReproConfig()
+        with pytest.warns(DeprecationWarning, match="serve_policy"):
+            assert cfg.serve_policy == cfg.serve.policy
+        with pytest.warns(DeprecationWarning, match="serve_max_wait_ms"):
+            assert cfg.serve_max_wait_ms == cfg.serve.max_wait_ms
+        with pytest.warns(DeprecationWarning, match="serve_max_block"):
+            assert cfg.serve_max_block == cfg.serve.max_block
+
+    def test_set_config_override_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="serve_max_wait_ms"):
+            set_config(serve_max_wait_ms=7.5)
+        assert get_config().serve.max_wait_ms == 7.5
+
+    def test_flat_override_composes_with_explicit_bundle(self):
+        with pytest.warns(DeprecationWarning, match="serve_policy"):
+            set_config(serve=ServeConfig(max_block=4), serve_policy="block")
+        assert get_config().serve.max_block == 4
+        assert get_config().serve.policy == "block"
+
+    def test_unknown_keyword_still_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            ReproConfig(serve_nonsense=1)
+
+    def test_canonical_spellings_do_not_warn(self, recwarn):
+        cfg = ReproConfig(serve=ServeConfig(max_block=2))
+        assert cfg.serve.max_block == 2
+        set_config(serve=ServeConfig(policy="sequential"))
+        assert get_config().serve.policy == "sequential"
+        deprecations = [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
 
 
 class TestRngHelper:

@@ -162,7 +162,7 @@ class TestConfigThreadSafety:
     def test_config_is_frozen_against_in_place_mutation(self):
         cfg = get_config()
         with pytest.raises(Exception):
-            cfg.serve_max_block = 99  # type: ignore[misc]
+            cfg.restart = 99  # type: ignore[misc]
 
     def test_rng_usable_from_many_threads(self):
         draws = {}
@@ -181,9 +181,13 @@ class TestConfigThreadSafety:
 
     def test_serve_defaults_present(self):
         cfg = ReproConfig()
-        assert cfg.serve_max_block >= 1
-        assert cfg.serve_max_wait_ms >= 0.0
-        assert cfg.serve_policy in ("auto", "block", "sequential")
+        assert cfg.serve.max_block >= 1
+        assert cfg.serve.max_wait_ms >= 0.0
+        assert cfg.serve.policy in ("auto", "block", "sequential")
+        assert cfg.serve.max_sessions >= 1
+        assert cfg.serve.queue_depth >= 1
+        assert cfg.serve.fairness in ("weighted", "fifo")
+        assert cfg.serve.workers >= 1
 
 
 class TestTimerThreadLocality:

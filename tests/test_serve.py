@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.config import rng, set_config
+from repro.config import ServeConfig, rng, set_config
 from repro.linalg.context import use_backend
 from repro.matrices import laplace3d
 from repro.perfmodel import KernelCostModel
@@ -103,7 +103,16 @@ class TestOperatorSession:
             session.close()
 
     def test_session_defaults_come_from_config(self, matrix):
-        set_config(serve_max_block=3, serve_policy="sequential")
+        set_config(serve=ServeConfig(max_block=3, policy="sequential"))
+        with make_session(matrix) as session:
+            assert session.max_block == 3
+            assert session.policy.mode == "sequential"
+
+    def test_deprecated_flat_serve_overrides_still_work(self, matrix):
+        with pytest.warns(DeprecationWarning) as caught:
+            set_config(serve_max_block=3, serve_policy="sequential")
+        messages = " ".join(str(w.message) for w in caught)
+        assert "serve_max_block" in messages and "serve_policy" in messages
         with make_session(matrix) as session:
             assert session.max_block == 3
             assert session.policy.mode == "sequential"

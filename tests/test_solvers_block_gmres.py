@@ -55,7 +55,7 @@ class TestBlockGmresParity:
         tol = 1e-9
         B = _rhs_block(matrix, 5)
         res = block_gmres(matrix, B, restart=30, tol=tol)
-        assert res.all_converged
+        assert res.converged
         assert res.n_rhs == 5
         for c in range(5):
             seq = gmres(matrix, B[:, c], restart=30, tol=tol)
@@ -78,14 +78,14 @@ class TestBlockGmresParity:
         matrix = bentpipe2d(16)  # n = 256, convection dominated
         B = _rhs_block(matrix, 4, seed=3)
         res = block_gmres(matrix, B, restart=40, tol=1e-8, max_restarts=30)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-8
 
     def test_initial_guess_block(self, matrix):
         B = _rhs_block(matrix, 3)
         X0 = rng(9).standard_normal(B.shape)
         res = block_gmres(matrix, B, X0, restart=30, tol=1e-8)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-8
 
     def test_shared_timer_and_column_view(self, matrix):
@@ -105,14 +105,14 @@ class TestBlockGmresPreconditioned:
         M = JacobiPreconditioner(matrix)
         B = _rhs_block(matrix, 4)
         res = block_gmres(matrix, B, restart=30, tol=1e-9, preconditioner=M)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-9
 
     def test_polynomial_batched_apply(self, matrix):
         M = GmresPolynomialPreconditioner(matrix, degree=8)
         B = _rhs_block(matrix, 4)
         res = block_gmres(matrix, B, restart=15, tol=1e-9, preconditioner=M)
-        assert res.all_converged
+        assert res.converged
         for c in range(4):
             seq = gmres(matrix, B[:, c], restart=30, tol=1e-9, preconditioner=M)
             diff = np.linalg.norm(res.X[:, c] - seq.x) / np.linalg.norm(seq.x)
@@ -151,7 +151,7 @@ class TestBlockGmresPreconditioned:
         M = GmresPolynomialPreconditioner(matrix, degree=6)  # fp64
         B = _rhs_block(matrix, 3)
         res = block_gmres_ir(matrix, B, restart=15, tol=1e-10, preconditioner=M)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-10
 
     def test_power_form_apply_block(self, matrix):
@@ -178,7 +178,7 @@ class TestPerColumnBookkeeping:
         B = _rhs_block(matrix, 3, seed=5)
         B[:, 1] = easy  # GMRES resolves a near-eigenvector in a few steps
         res = block_gmres(matrix, B, restart=12, tol=1e-8, max_restarts=30)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-8
         assert res.iterations[1] < res.iterations[0]
         assert res.iterations[1] < res.iterations[2]
@@ -246,7 +246,7 @@ class TestPerColumnBookkeeping:
         B = _rhs_block(matrix, 3)
         B[:, 2] = B[:, 0]
         res = block_gmres(matrix, B, restart=30, tol=1e-8)
-        assert res.all_converged
+        assert res.converged
         np.testing.assert_allclose(res.X[:, 0], res.X[:, 2], rtol=1e-6, atol=1e-9)
 
     def test_caller_rhs_block_is_not_mutated(self, matrix):
@@ -261,7 +261,7 @@ class TestPerColumnBookkeeping:
         B_before = B.copy()
         res = block_gmres(matrix, B, restart=12, tol=1e-8, max_restarts=30)
         np.testing.assert_array_equal(B, B_before)
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-8
 
     def test_histories_per_column(self, matrix):
@@ -285,7 +285,7 @@ class TestSolveMany:
         assert res.n_rhs == 7
         assert res.block_size == 3
         assert res.details["n_blocks"] == 3
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-8
         assert len(res.histories) == 7
         assert len(res.iterations) == 7
@@ -301,7 +301,7 @@ class TestSolveMany:
         B = _rhs_block(matrix, 4)
         res = solve_many(matrix, B, method="gmres-ir", restart=25, tol=1e-9)
         assert res.solver == "block-gmres-ir"
-        assert res.all_converged
+        assert res.converged
         assert res.relative_residuals_fp64.max() <= 1e-9
 
     def test_shared_timer_across_chunks(self, matrix):
@@ -313,7 +313,7 @@ class TestSolveMany:
         B = _rhs_block(matrix, 4)
         X0 = np.zeros_like(B)
         res = solve_many(matrix, B, X0, block_size=2, restart=25, tol=1e-8)
-        assert res.all_converged
+        assert res.converged
         with pytest.raises(ValueError):
             solve_many(matrix, B, X0[:, :2], block_size=2)
         with pytest.raises(ValueError):
@@ -330,7 +330,7 @@ class TestBlockGmresIr:
         tol = 1e-10
         B = _rhs_block(matrix, 4)
         res = block_gmres_ir(matrix, B, restart=25, tol=tol)
-        assert res.all_converged
+        assert res.converged
         assert res.precision == "single/double"
         for c in range(4):
             seq = gmres_ir(matrix, B[:, c], restart=25, tol=tol)
@@ -346,19 +346,19 @@ class TestBlockGmresIr:
         B = _rhs_block(matrix, 3)
         B[:, 0] = vecs[:, 0]
         res = block_gmres_ir(matrix, B, restart=12, tol=1e-10, max_restarts=25)
-        assert res.all_converged
+        assert res.converged
         assert res.iterations[0] <= res.iterations[1]
 
     def test_refine_every_two(self, matrix):
         B = _rhs_block(matrix, 3)
         res = block_gmres_ir(matrix, B, restart=10, tol=1e-10, refine_every=2)
-        assert res.all_converged
+        assert res.converged
         assert res.details["refine_every"] == 2
 
     def test_zero_block_short_circuit(self, matrix):
         B = np.zeros((matrix.n_rows, 2))
         res = block_gmres_ir(matrix, B, restart=10, tol=1e-10)
-        assert res.all_converged
+        assert res.converged
         np.testing.assert_array_equal(res.X, 0)
 
 
