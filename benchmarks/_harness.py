@@ -1013,6 +1013,31 @@ def run_farm(
             best_naive = min(best_naive, naive_wall)
 
         farm_wall, farm_stats = best_farm
+        # Fault-tolerance quiescence gate: a healthy benchmark load must
+        # not leak requests (submitted == completed + failed) nor trigger
+        # any of the failure machinery — deadlines, cancellations and
+        # breaker trips all belong to chaos runs, not this one.
+        fleet = farm_stats.fleet
+        if fleet.requests_submitted != (
+            fleet.requests_completed + fleet.requests_failed
+        ):
+            raise SystemExit(
+                f"[farm] {backend}: telemetry does not reconcile: "
+                f"{fleet.requests_submitted} submitted != "
+                f"{fleet.requests_completed} completed + "
+                f"{fleet.requests_failed} failed"
+            )
+        if (
+            fleet.requests_timed_out
+            or fleet.requests_cancelled
+            or farm_stats.breaker_trips
+        ):
+            raise SystemExit(
+                f"[farm] {backend}: spurious failure-path activity under "
+                f"healthy load: timed_out={fleet.requests_timed_out} "
+                f"cancelled={fleet.requests_cancelled} "
+                f"breaker_trips={farm_stats.breaker_trips}"
+            )
         farm_rps = total / farm_wall
         naive_rps = total / best_naive
         speedup = farm_rps / naive_rps
@@ -1058,6 +1083,9 @@ def run_farm(
                 latency_p50_ms=farm_stats.fleet.latency.p50_ms,
                 latency_p95_ms=farm_stats.fleet.latency.p95_ms,
                 worst_cold_p95_degradation=worst_ratio,
+                requests_timed_out=fleet.requests_timed_out,
+                requests_cancelled=fleet.requests_cancelled,
+                breaker_trips=farm_stats.breaker_trips,
             )
         )
         for k in keys:

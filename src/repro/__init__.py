@@ -38,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import config, precision, perfmodel, backends, sparse, linalg, matrices, ortho
-from . import preconditioners, solvers, analysis, experiments, serve
+from . import preconditioners, solvers, analysis, experiments, serve, testing
 from .backends import KernelBackend, available_backends, get_backend, register_backend
 from .config import ReproConfig, get_config, set_config
 from .precision import HALF, SINGLE, DOUBLE, Precision, as_precision
@@ -59,6 +59,7 @@ from .solvers import (
     block_gmres,
     block_gmres_ir,
     solve_many,
+    SolveControl,
 )
 from .preconditioners import (
     JacobiPreconditioner,
@@ -84,6 +85,7 @@ __all__ = [
     "analysis",
     "experiments",
     "serve",
+    "testing",
     # configuration / precision
     "ReproConfig",
     "get_config",
@@ -122,6 +124,7 @@ __all__ = [
     "block_gmres",
     "block_gmres_ir",
     "solve_many",
+    "SolveControl",
     # preconditioners
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",

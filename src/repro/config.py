@@ -77,6 +77,15 @@ class ServeConfig:
         ``"fifo"`` serves tenants strictly by oldest waiting request.
     workers:
         Shared worker threads draining the per-tenant queues.
+    breaker_threshold:
+        Per-operator circuit breaker: this many *consecutive* hard solve
+        failures (exceptions, breakdowns, non-finite results) quarantine
+        the operator — its warmed session is evicted and submits fail
+        fast with :class:`repro.serve.CircuitOpenError`.
+    breaker_cooldown_ms:
+        Quarantine length in milliseconds; after it one probe request is
+        admitted (half-open) and its outcome decides whether traffic
+        resumes.
     """
 
     max_block: int = 8
@@ -87,6 +96,8 @@ class ServeConfig:
     queue_depth: int = 64
     fairness: str = "weighted"
     workers: int = 2
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 250.0
 
 
 #: Deprecated flat ``ReproConfig`` field -> canonical ``ServeConfig`` field.

@@ -39,6 +39,16 @@ Pieces
     accounting via :class:`FarmTelemetry` / :class:`FarmStats`
     (``benchmarks/_harness.py --farm`` → ``BENCH_farm.json``).
 
+Fault tolerance (see the README's "Failure semantics" section)
+    Every policy error derives from :class:`ReproServeError`:
+    :class:`RejectedError` (queue full), :class:`DeadlineExceededError`
+    (a request's ``deadline_ms`` lapsed while queued; never dispatched)
+    and :class:`CircuitOpenError` (operator quarantined by its
+    :class:`CircuitBreaker` after consecutive hard solve failures).
+    Deadlines that lapse *mid-solve* and client cancellations resolve
+    futures normally with statuses ``TIMED_OUT`` / ``CANCELLED`` via the
+    cooperative :class:`repro.solvers.SolveControl` token.
+
 Quickstart (one operator — see :func:`repro.session`)::
 
     import numpy as np
@@ -61,10 +71,17 @@ Many operators — see :func:`repro.farm`::
         print(f.stats().as_dict())
 """
 
-from .farm import FAIRNESS_MODES, RejectedError, SolverFarm
+from .breaker import BREAKER_STATES, CircuitBreaker
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RejectedError,
+    ReproServeError,
+)
+from .farm import FAIRNESS_MODES, SolverFarm
 from .policy import BatchingPolicy, POLICY_MODES
 from .registry import SessionRegistry
-from .scheduler import PendingRequest, ServeResult, SolveScheduler
+from .scheduler import PendingRequest, ServeFuture, ServeResult, SolveScheduler
 from .session import OperatorSession
 from .telemetry import (
     FarmStats,
@@ -85,12 +102,19 @@ __all__ = [
     "OperatorSession",
     "SolveScheduler",
     "ServeResult",
+    "ServeFuture",
     "PendingRequest",
     # multi-tenant farm
     "SolverFarm",
     "SessionRegistry",
-    "RejectedError",
     "FAIRNESS_MODES",
+    # errors and fault tolerance
+    "ReproServeError",
+    "RejectedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "CircuitBreaker",
+    "BREAKER_STATES",
     # batching policy
     "BatchingPolicy",
     "POLICY_MODES",

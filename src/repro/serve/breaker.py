@@ -1,0 +1,168 @@
+"""Per-operator circuit breaker: quarantine poisoned operators, probe back.
+
+The paper treats low-precision breakdown as an expected, recoverable event
+for *one* solve; at farm scale the same philosophy needs a fleet-level
+form.  An operator whose solves keep breaking down (an indefinite matrix
+registered by mistake, a preconditioner whose scratch was corrupted, a
+backend fault) would otherwise burn a worker per batch forever, starving
+the healthy tenants.  The :class:`CircuitBreaker` is the standard
+three-state answer:
+
+* **closed** — traffic flows; consecutive *hard* failures (solver
+  exceptions, ``BREAKDOWN`` statuses, non-finite results) are counted,
+  any success resets the streak.  Deadline and cancellation outcomes are
+  neutral: they say something about the client, not the operator.
+* **open** — after ``threshold`` consecutive failures the breaker trips:
+  the farm evicts the warmed session (quarantine) and every submit fails
+  fast with :class:`~repro.serve.errors.CircuitOpenError` carrying the
+  remaining ``retry_after_ms`` cool-down.
+* **half-open** — once the cool-down elapses, exactly **one** probe
+  request is admitted.  Its success closes the breaker (traffic resumes,
+  the session re-warms through the registry); its failure re-opens the
+  breaker for a fresh cool-down.
+
+Thread-safe; every transition is taken under the breaker's own lock.
+Time is measured on the monotonic clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = ["CircuitBreaker", "BREAKER_STATES"]
+
+#: The three states of the classic circuit-breaker automaton.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive hard failures that trip the breaker (N >= 1).
+    cooldown_ms:
+        Quarantine length after a trip; submits during it are rejected
+        with the remaining time as ``retry_after_ms``.
+    """
+
+    def __init__(self, *, threshold: int = 3, cooldown_ms: float = 1000.0) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        self.threshold = int(threshold)
+        self.cooldown_seconds = float(cooldown_ms) / 1e3
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._streak = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._probe_at = 0.0
+        self._trips = 0
+
+    # ------------------------------------------------------------------ #
+    # admission (called at submit time)                                  #
+    # ------------------------------------------------------------------ #
+    def admit(self) -> Optional[float]:
+        """Decide whether a request may enter.
+
+        Returns ``None`` when the request is admitted (closed state, or
+        the half-open probe slot), otherwise the remaining cool-down in
+        milliseconds the rejection should advertise.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return None
+            now = time.monotonic()
+            if self._state == "open":
+                remaining = self._opened_at + self.cooldown_seconds - now
+                if remaining > 0:
+                    return max(remaining * 1e3, 0.0)
+                # Cool-down over: go half-open and admit this request as
+                # the probe.
+                self._state = "half_open"
+                self._probe_inflight = True
+                self._probe_at = now
+                return None
+            # half-open: one probe at a time; everyone else keeps backing
+            # off for (at least) another cool-down.  A probe slot older
+            # than one cool-down is considered lost (the probe request
+            # expired, was cancelled or was abandoned before it produced
+            # an outcome) and is handed to this request — otherwise a
+            # vanished probe would wedge the breaker half-open forever.
+            if self._probe_inflight and now - self._probe_at < self.cooldown_seconds:
+                return self.cooldown_seconds * 1e3
+            self._probe_inflight = True
+            self._probe_at = now
+            return None
+
+    # ------------------------------------------------------------------ #
+    # outcome feedback (called after a batch resolves)                   #
+    # ------------------------------------------------------------------ #
+    def record_success(self) -> None:
+        """A dispatch on this operator completed healthily."""
+        with self._lock:
+            self._streak = 0
+            self._probe_inflight = False
+            self._state = "closed"
+
+    def record_failure(self) -> bool:
+        """A hard failure (exception / breakdown / non-finite result).
+
+        Returns ``True`` when this failure *trips* the breaker (closed →
+        open, or a failed half-open probe re-opening it) — the caller
+        quarantines the session exactly on trips.
+        """
+        with self._lock:
+            now = time.monotonic()
+            if self._state == "half_open":
+                # The probe failed: straight back to open, fresh cool-down.
+                self._state = "open"
+                self._probe_inflight = False
+                self._opened_at = now
+                self._streak = self.threshold
+                self._trips += 1
+                return True
+            if self._state == "open":
+                # Late failure report from a batch that was in flight when
+                # the breaker tripped; the quarantine clock restarts.
+                self._opened_at = now
+                return False
+            self._streak += 1
+            if self._streak >= self.threshold:
+                self._state = "open"
+                self._opened_at = now
+                self._trips += 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (see module doc)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._streak
+
+    @property
+    def trips(self) -> int:
+        """Lifetime count of closed/half-open → open transitions."""
+        with self._lock:
+            return self._trips
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CircuitBreaker state={self.state!r} "
+            f"streak={self.consecutive_failures}/{self.threshold} "
+            f"trips={self.trips}>"
+        )

@@ -18,6 +18,14 @@ multi-tenant form of the same service:
 * **admission control** — a submit against a full tenant queue raises
   :class:`RejectedError` carrying a ``retry_after_ms`` hint, instead of
   queueing unbounded work (backpressure the client can act on);
+* **fault tolerance** — per-request deadlines (queue expiry fails fast
+  with :class:`~repro.serve.errors.DeadlineExceededError`, mid-solve
+  expiry resolves with status ``TIMED_OUT``), cooperative cancellation
+  through the futures, and a per-operator
+  :class:`~repro.serve.breaker.CircuitBreaker`: an operator whose solves
+  keep breaking down is quarantined (its warmed session evicted, submits
+  failing fast with :class:`~repro.serve.errors.CircuitOpenError`) until
+  a cool-down elapses and a half-open probe succeeds;
 * **a shared worker pool** drains the queues.  Each worker repeatedly
   picks the neediest ready tenant — under ``fairness="weighted"`` the one
   with the smallest served-work/weight ratio (deficit-style weighted
@@ -60,37 +68,36 @@ import numpy as np
 
 from ..config import get_config
 from ..sparse.csr import CsrMatrix
+from .breaker import CircuitBreaker
+from .errors import CircuitOpenError, RejectedError
 from .registry import SessionRegistry
-from .scheduler import PendingRequest, ServeResult, run_batch
+from .scheduler import (
+    BatchReport,
+    PendingRequest,
+    ServeResult,
+    deadline_slack_seconds,
+    expire_requests,
+    fail_future,
+    run_batch,
+    sweep_expired,
+)
 from .session import OperatorSession, validate_rhs
 from .telemetry import FarmStats, FarmTelemetry
 
-__all__ = ["RejectedError", "SolverFarm", "FAIRNESS_MODES"]
+__all__ = ["RejectedError", "CircuitOpenError", "SolverFarm", "FAIRNESS_MODES"]
 
 #: Recognized values of ``ServeConfig.fairness``.
 FAIRNESS_MODES = ("weighted", "fifo")
 
 
-class RejectedError(RuntimeError):
-    """A submit was refused by admission control (tenant queue full).
-
-    Backpressure, not failure: the farm is protecting its latency by
-    bounding queued work per tenant.  ``retry_after_ms`` is the farm's
-    estimate of when the queue will have drained enough to accept the
-    request — a hint, not a promise.
-    """
-
-    def __init__(self, message: str, *, retry_after_ms: float) -> None:
-        super().__init__(message)
-        self.retry_after_ms = float(retry_after_ms)
-
-
 class _Tenant:
     """Farm-side state of one registered operator (not the session)."""
 
-    __slots__ = ("key", "n_rows", "weight", "queue", "busy", "served")
+    __slots__ = ("key", "n_rows", "weight", "queue", "busy", "served", "breaker")
 
-    def __init__(self, key: str, n_rows: int, weight: float) -> None:
+    def __init__(
+        self, key: str, n_rows: int, weight: float, breaker: CircuitBreaker
+    ) -> None:
         self.key = key
         self.n_rows = n_rows
         self.weight = weight
@@ -101,6 +108,8 @@ class _Tenant:
         self.busy = False
         #: requests completed, the numerator of the deficit ratio
         self.served = 0
+        #: quarantines the operator after consecutive hard failures
+        self.breaker = breaker
 
 
 class SolverFarm:
@@ -125,6 +134,13 @@ class SolverFarm:
     max_wait_ms:
         Per-tenant micro-batching window, exactly as in
         :class:`~repro.serve.scheduler.SolveScheduler`.
+    breaker_threshold / breaker_cooldown_ms:
+        Per-operator circuit breaker: ``breaker_threshold`` consecutive
+        hard failures (solver exceptions, breakdowns, non-finite results)
+        quarantine the operator for ``breaker_cooldown_ms`` — its warmed
+        session is evicted and submits fail fast with
+        :class:`~repro.serve.errors.CircuitOpenError` — after which one
+        probe request decides whether traffic resumes.
     """
 
     def __init__(
@@ -136,6 +152,8 @@ class SolverFarm:
         fairness: Optional[str] = None,
         workers: Optional[int] = None,
         max_wait_ms: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_ms: Optional[float] = None,
         name: str = "farm",
     ) -> None:
         cfg = get_config().serve
@@ -154,6 +172,16 @@ class SolverFarm:
         self.max_wait_seconds = (
             cfg.max_wait_ms if max_wait_ms is None else float(max_wait_ms)
         ) / 1e3
+        self.breaker_threshold = (
+            cfg.breaker_threshold
+            if breaker_threshold is None
+            else int(breaker_threshold)
+        )
+        self.breaker_cooldown_ms = (
+            cfg.breaker_cooldown_ms
+            if breaker_cooldown_ms is None
+            else float(breaker_cooldown_ms)
+        )
         self.telemetry = FarmTelemetry()
         self.registry = SessionRegistry(
             max_sessions=cfg.max_sessions if max_sessions is None else int(max_sessions),
@@ -229,7 +257,15 @@ class SolverFarm:
                 raise RuntimeError("farm is closed")
             tenant = self._tenants.get(key)
             if tenant is None:
-                self._tenants[key] = _Tenant(key, rows, float(weight))
+                self._tenants[key] = _Tenant(
+                    key,
+                    rows,
+                    float(weight),
+                    CircuitBreaker(
+                        threshold=self.breaker_threshold,
+                        cooldown_ms=self.breaker_cooldown_ms,
+                    ),
+                )
             else:
                 tenant.n_rows = rows
                 tenant.weight = float(weight)
@@ -242,14 +278,26 @@ class SolverFarm:
     # ------------------------------------------------------------------ #
     # client side                                                        #
     # ------------------------------------------------------------------ #
-    def submit(self, key: str, b: np.ndarray) -> "Future[ServeResult]":
+    def submit(
+        self, key: str, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> "Future[ServeResult]":
         """Enqueue one right-hand side for operator ``key``.
 
         Returns a ``Future[ServeResult]``.  Validation failures resolve
         the future with ``ValueError`` (mirroring
         :meth:`SolveScheduler.submit`); a full tenant queue raises
-        :class:`RejectedError` *synchronously* — backpressure must reach
-        the caller before the work is accepted, not inside the future.
+        :class:`RejectedError` and a quarantined operator
+        :class:`~repro.serve.errors.CircuitOpenError`, both
+        *synchronously* — backpressure must reach the caller before the
+        work is accepted, not inside the future.
+
+        ``deadline_ms`` bounds the request end to end: expiry while
+        queued fails the future fast with
+        :class:`~repro.serve.errors.DeadlineExceededError` (the request
+        is never dispatched); expiry mid-solve resolves it normally with
+        status ``TIMED_OUT``.  Cancelling the future reaches an in-flight
+        solve cooperatively (status ``CANCELLED`` within one restart
+        cycle).
         """
         with self._lock:
             tenant = self._tenants.get(key)
@@ -263,40 +311,62 @@ class SolverFarm:
             failed.set_exception(exc)
             sink.record_rejected()
             return failed
-        request = PendingRequest(column)
+        request = PendingRequest(column, deadline_ms=deadline_ms)
+        if request.expired:
+            # Dead on arrival (non-positive budget): fail fast through
+            # the future without ever touching the queue.
+            sink.record_submitted()
+            expire_requests([request], sink)
+            return request.future
+        retry_hint: Optional[float] = None
+        breaker_hint: Optional[float] = None
         with self._wakeup:
             if self._closed:
                 raise RuntimeError("farm is closed; no new requests accepted")
             if len(tenant.queue) >= self.queue_depth:
-                hint = self._retry_after_ms_locked(tenant)
+                retry_hint = self._retry_after_ms_locked(tenant)
                 self._wakeup.notify_all()
-                rejected = True
             else:
-                tenant.queue.append(request)
-                self._ensure_workers_locked()
-                self._wakeup.notify_all()
-                rejected = False
-        if rejected:
+                breaker_hint = tenant.breaker.admit()
+                if breaker_hint is None:
+                    tenant.queue.append(request)
+                    self._ensure_workers_locked()
+                    self._wakeup.notify_all()
+        if retry_hint is not None:
             self.telemetry.record_rejected(key)
             raise RejectedError(
                 f"tenant {key!r} queue is full ({self.queue_depth} pending); "
-                f"retry in ~{hint:.0f} ms",
-                retry_after_ms=hint,
+                f"retry in ~{retry_hint:.0f} ms",
+                retry_after_ms=retry_hint,
+            )
+        if breaker_hint is not None:
+            self.telemetry.record_rejected(key)
+            raise CircuitOpenError(
+                f"operator {key!r} is quarantined after consecutive solve "
+                f"failures; retry in ~{breaker_hint:.0f} ms",
+                key=key,
+                retry_after_ms=breaker_hint,
             )
         sink.record_submitted()
         return request.future
 
-    async def asubmit(self, key: str, b: np.ndarray) -> ServeResult:
+    async def asubmit(
+        self, key: str, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> ServeResult:
         """Awaitable :meth:`submit` — the ``asyncio`` front of the farm.
 
         The request rides the same queues and worker pool; only the
-        waiting is non-blocking.  :class:`RejectedError` raises
-        immediately (before any awaiting), validation errors surface as
-        ``ValueError`` when awaited.
+        waiting is non-blocking.  :class:`RejectedError` and
+        :class:`~repro.serve.errors.CircuitOpenError` raise immediately
+        (before any awaiting); validation errors surface as ``ValueError``
+        and queue-expired deadlines as
+        :class:`~repro.serve.errors.DeadlineExceededError` when awaited.
         """
         import asyncio
 
-        return await asyncio.wrap_future(self.submit(key, b))
+        return await asyncio.wrap_future(
+            self.submit(key, b, deadline_ms=deadline_ms)
+        )
 
     def _retry_after_ms_locked(self, tenant: _Tenant) -> float:
         """Drain-time estimate for one queue-depth of backlog (a hint)."""
@@ -371,6 +441,12 @@ class SolverFarm:
         )
 
     def _worker(self) -> None:
+        # Purely event-driven: workers sleep on the condition until a
+        # submit, a batch completion or close() notifies them — no idle
+        # polling tick.  Liveness argument: a ready tenant (non-empty
+        # queue, not busy) is picked without waiting, so queued deadlines
+        # are always in the hands of some worker's batch assembler, which
+        # bounds its own waits by the tightest deadline.
         while True:
             with self._wakeup:
                 tenant = self._pick_tenant_locked()
@@ -379,7 +455,7 @@ class SolverFarm:
                         t.queue for t in self._tenants.values()
                     ):
                         return
-                    self._wakeup.wait(timeout=0.1)
+                    self._wakeup.wait()
                     tenant = self._pick_tenant_locked()
                 tenant.busy = True
             try:
@@ -395,26 +471,55 @@ class SolverFarm:
         Any exception is contained: session build failures resolve the
         queued futures (never raise into the worker loop), and
         :func:`run_batch` already forwards solver errors to the futures.
+        The batch outcome feeds the tenant's circuit breaker; a trip
+        quarantines the operator (evicts its warmed session).
         """
+        sink = self.telemetry.sink(tenant.key)
         try:
             session = self.registry.get_or_create(tenant.key)
         except Exception as exc:  # noqa: BLE001 - forwarded to the futures
             # The factory (warm-up) failed: fail this tenant's currently
             # queued requests — batchmates-to-be of the broken session —
-            # and keep the farm serving everyone else.
+            # and keep the farm serving everyone else.  A broken factory
+            # is as hard a failure as a broken solve, so it feeds the
+            # breaker too.
             with self._wakeup:
                 doomed = list(tenant.queue)
                 tenant.queue.clear()
             for request in doomed:
                 if request.future.set_running_or_notify_cancel():
-                    request.future.set_exception(exc)
+                    if fail_future(request.future, exc):
+                        sink.record_abandoned()
+                else:
+                    sink.record_cancelled()
+            self._feed_breaker(
+                tenant, BatchReport(width=len(doomed), exception=exc)
+            )
             return
         batch = self._collect_batch(tenant, session)
         if not batch:
             return
-        run_batch(session, batch, self.telemetry.sink(tenant.key))
+        report = run_batch(session, batch, sink)
+        self._feed_breaker(tenant, report)
         with self._lock:
             tenant.served += len(batch)
+
+    def _feed_breaker(self, tenant: _Tenant, report: BatchReport) -> None:
+        """Update ``tenant``'s breaker from one dispatch outcome.
+
+        Hard failures (exceptions, breakdowns, non-finite results) count
+        against the operator; healthy dispatches reset the streak; a
+        batch made up purely of timed-out/cancelled columns says nothing
+        about the operator and leaves the breaker untouched.  Exactly on
+        a trip the warmed session is evicted — quarantine, not just
+        rejection — so a poisoned session cannot serve the probe either.
+        """
+        if report.hard_failure:
+            if tenant.breaker.record_failure():
+                self.registry.evict(tenant.key)
+                self.telemetry.record_breaker_trip(tenant.key)
+        elif report.healthy:
+            tenant.breaker.record_success()
 
     def _collect_batch(
         self, tenant: _Tenant, session: OperatorSession
@@ -425,29 +530,50 @@ class SolverFarm:
         micro-batching window for the queue to fill to the session's
         ``max_block`` — skipped when more arrivals cannot change the
         dispatch (width-1 session, sequential policy) or the farm is
-        draining — then let the policy choose the width.
+        draining — then let the policy choose the width.  The window is
+        capped by the tightest queued deadline, and requests whose
+        deadline already lapsed are failed fast here, never dispatched.
         """
+        sink = self.telemetry.sink(tenant.key)
+        expired: List[PendingRequest] = []
         with self._wakeup:
+            expired.extend(sweep_expired(tenant.queue))
             can_batch = (
                 session.max_block > 1
                 and getattr(session.policy, "mode", "auto") != "sequential"
             )
             if can_batch and not self._closed:
-                deadline = time.perf_counter() + self.max_wait_seconds
+                window_ends = time.perf_counter() + self.max_wait_seconds
                 while len(tenant.queue) < session.max_block and not self._closed:
-                    remaining = deadline - time.perf_counter()
+                    remaining = window_ends - time.perf_counter()
+                    slack = deadline_slack_seconds(tenant.queue)
+                    if slack is not None:
+                        remaining = min(remaining, slack)
                     if remaining <= 0:
                         break
                     self._wakeup.wait(timeout=remaining)
+                    expired.extend(sweep_expired(tenant.queue))
+                    if not tenant.queue:
+                        # Nothing left to batch (everything expired or
+                        # was cancelled): resolve the sweep now instead
+                        # of idling out the window.
+                        break
+            expired.extend(sweep_expired(tenant.queue))
             if not tenant.queue:
-                return []
-            width = session.policy.block_width(len(tenant.queue))
-            popped = [tenant.queue.popleft() for _ in range(width)]
-        return [
-            request
-            for request in popped
-            if request.future.set_running_or_notify_cancel()
-        ]
+                popped: List[PendingRequest] = []
+            else:
+                width = session.policy.block_width(len(tenant.queue))
+                popped = [tenant.queue.popleft() for _ in range(width)]
+        expire_requests(expired, sink)
+        batch = []
+        for request in popped:
+            # Transition the future to RUNNING; a client that cancelled
+            # while queued is dropped here and never enters the block.
+            if request.future.set_running_or_notify_cancel():
+                batch.append(request)
+            else:
+                sink.record_cancelled()
+        return batch
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                          #
@@ -462,19 +588,24 @@ class SolverFarm:
             if self._closed and not self._threads:
                 return
             self._closed = True
-            abandoned: List[PendingRequest] = []
+            abandoned: List[tuple] = []
             if not drain:
                 for tenant in self._tenants.values():
-                    abandoned.extend(tenant.queue)
+                    abandoned.extend((tenant.key, r) for r in tenant.queue)
                     tenant.queue.clear()
             threads = list(self._threads)
             self._threads.clear()
             self._wakeup.notify_all()
-        for request in abandoned:
+        for key, request in abandoned:
+            sink = self.telemetry.sink(key)
             if request.future.set_running_or_notify_cancel():
-                request.future.set_exception(
-                    RuntimeError("farm closed before the request was served")
-                )
+                if fail_future(
+                    request.future,
+                    RuntimeError("farm closed before the request was served"),
+                ):
+                    sink.record_abandoned()
+            else:
+                sink.record_cancelled()
         for thread in threads:
             if threading.current_thread() is not thread:
                 thread.join(timeout=timeout)

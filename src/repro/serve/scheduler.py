@@ -38,19 +38,33 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..solvers.result import ConvergenceHistory, SolveResult, SolverStatus
+from ..solvers.status import SolveControl
+from .errors import DeadlineExceededError
 from .telemetry import ServeStats, ServeTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .session import OperatorSession
 
-__all__ = ["PendingRequest", "ServeResult", "SolveScheduler", "run_batch"]
+__all__ = [
+    "BatchReport",
+    "PendingRequest",
+    "ServeFuture",
+    "ServeResult",
+    "SolveScheduler",
+    "run_batch",
+    "complete_future",
+    "fail_future",
+    "sweep_expired",
+    "expire_requests",
+    "deadline_slack_seconds",
+]
 
 
 @dataclass
@@ -104,17 +118,138 @@ class ServeResult:
         return "\n".join(lines)
 
 
+class ServeFuture(Future):
+    """A future whose ``cancel()`` also reaches an in-flight solve.
+
+    While the request is still queued this behaves exactly like
+    :class:`concurrent.futures.Future`: ``cancel()`` returns ``True`` and
+    the batch assembler drops the request before dispatch.  Once the batch
+    is running a standard future can no longer be cancelled — here
+    ``cancel()`` still returns ``False`` (the solve cannot be stopped
+    *immediately*), but the request's cooperative
+    :class:`~repro.solvers.SolveControl` token is signalled, so the solver
+    deflates the column at the next poll point and the future resolves
+    normally with status ``CANCELLED`` within one restart cycle.
+    """
+
+    def __init__(self, control: SolveControl) -> None:
+        super().__init__()
+        self.control = control
+
+    def cancel(self) -> bool:
+        cancelled = super().cancel()
+        # Signal the cooperative token regardless of the state transition:
+        # for a queued request it is moot (the drop happens at assembly),
+        # for an in-flight one it is the only lever that works.
+        self.control.cancel()
+        return cancelled
+
+
 class PendingRequest:
-    """One queued right-hand side: the validated column, its future, and
-    the enqueue timestamp (shared by :class:`SolveScheduler` queues and the
-    farm's per-tenant queues)."""
+    """One queued right-hand side: the validated column, its future, its
+    cooperative control token (deadline + cancellation), and the enqueue
+    timestamp (shared by :class:`SolveScheduler` queues and the farm's
+    per-tenant queues)."""
 
-    __slots__ = ("b", "future", "enqueued_at")
+    __slots__ = ("b", "future", "control", "deadline_ms", "enqueued_at")
 
-    def __init__(self, b: np.ndarray) -> None:
+    def __init__(
+        self, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> None:
         self.b = b
-        self.future: Future = Future()
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        if self.deadline_ms is None:
+            self.control = SolveControl()
+        else:
+            self.control = SolveControl.with_timeout(self.deadline_ms)
+        self.future: ServeFuture = ServeFuture(self.control)
         self.enqueued_at = time.perf_counter()
+
+    @property
+    def expired(self) -> bool:
+        """True when the request's deadline already lapsed."""
+        return self.control.expired()
+
+
+# --------------------------------------------------------------------- #
+# future resolution and queue maintenance (shared with the farm)        #
+# --------------------------------------------------------------------- #
+def complete_future(future: Future, result: object) -> bool:
+    """``set_result`` that tolerates a future already resolved elsewhere.
+
+    A client can cancel a future in the hair's breadth between a worker
+    popping its request and resolving it; ``set_result`` on a cancelled
+    future raises ``InvalidStateError`` and would kill the worker.
+    Returns ``True`` when the result actually landed.
+    """
+    try:
+        future.set_result(result)
+        return True
+    except InvalidStateError:
+        return False
+
+
+def fail_future(future: Future, exc: BaseException) -> bool:
+    """``set_exception`` with the same already-resolved tolerance."""
+    try:
+        future.set_exception(exc)
+        return True
+    except InvalidStateError:
+        return False
+
+
+def sweep_expired(queue: Deque[PendingRequest]) -> List[PendingRequest]:
+    """Remove and return queued requests whose deadline already lapsed.
+
+    The caller holds the queue's lock; the removed requests still need
+    :func:`expire_requests` (outside the lock) to resolve their futures.
+    """
+    expired: List[PendingRequest] = []
+    if not queue:
+        return expired
+    keep: List[PendingRequest] = []
+    for request in queue:
+        (expired if request.expired else keep).append(request)
+    if expired:
+        queue.clear()
+        queue.extend(keep)
+    return expired
+
+
+def expire_requests(expired: List[PendingRequest], telemetry) -> None:
+    """Fail swept-out requests fast with :class:`DeadlineExceededError`."""
+    for request in expired:
+        if request.future.set_running_or_notify_cancel():
+            budget = request.deadline_ms
+            shown = "?" if budget is None else format(budget, ".0f")
+            fail_future(
+                request.future,
+                DeadlineExceededError(
+                    f"request deadline of {shown} ms lapsed in the queue; "
+                    "the request was never dispatched",
+                    deadline_ms=budget,
+                ),
+            )
+            telemetry.record_timeout()
+        else:
+            # Cancelled while queued: the sweep doubles as the drop point.
+            telemetry.record_cancelled()
+
+
+def deadline_slack_seconds(queue: Deque[PendingRequest]) -> Optional[float]:
+    """Seconds until the tightest queued deadline (None when none is set).
+
+    The caller holds the queue's lock.  The batch assemblers cap their
+    micro-batching wait window by this slack, so a near-deadline request
+    is dispatched (or expired) promptly instead of being held for the
+    full ``max_wait_ms``.
+    """
+    slack: Optional[float] = None
+    for request in queue:
+        remaining = request.control.remaining_seconds()
+        if remaining is not None and (slack is None or remaining < slack):
+            slack = remaining
+    return slack
 
 
 class SolveScheduler:
@@ -171,12 +306,24 @@ class SolveScheduler:
     # ------------------------------------------------------------------ #
     # client side                                                        #
     # ------------------------------------------------------------------ #
-    def submit(self, b: np.ndarray) -> "Future[ServeResult]":
+    def submit(
+        self, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> "Future[ServeResult]":
         """Enqueue one right-hand side; returns a future of its result.
 
         Validation happens here, synchronously, so a malformed request is
         rejected *before* it can share a Krylov basis with anyone else:
         its future fails with ``ValueError`` and no batchmate sees it.
+
+        ``deadline_ms`` bounds the request end to end: a deadline that
+        lapses while the request is still queued fails its future fast
+        with :class:`~repro.serve.errors.DeadlineExceededError` (the
+        request is never dispatched); one that lapses mid-solve resolves
+        the future normally with status ``TIMED_OUT`` and the best
+        iterate reached.  Cancelling the returned future while queued
+        drops the request before dispatch; cancelling in flight stops the
+        solve cooperatively within one restart cycle (status
+        ``CANCELLED``).
         """
         try:
             column = self._validated_column(b)
@@ -185,7 +332,14 @@ class SolveScheduler:
             failed.set_exception(exc)
             self.telemetry.record_rejected()
             return failed
-        request = PendingRequest(column)
+        request = PendingRequest(column, deadline_ms=deadline_ms)
+        if request.expired:
+            # Dead on arrival (non-positive budget): fail fast without
+            # ever touching the queue — still through the future, so the
+            # caller sees a single error surface.
+            self.telemetry.record_submitted()
+            expire_requests([request], self.telemetry)
+            return request.future
         with self._wakeup:
             if self._closed:
                 raise RuntimeError("scheduler is closed; no new requests accepted")
@@ -243,9 +397,13 @@ class SolveScheduler:
             self._wakeup.notify_all()
         for request in abandoned:
             if request.future.set_running_or_notify_cancel():
-                request.future.set_exception(
-                    RuntimeError("scheduler closed before the request was served")
-                )
+                if fail_future(
+                    request.future,
+                    RuntimeError("scheduler closed before the request was served"),
+                ):
+                    self.telemetry.record_abandoned()
+            else:
+                self.telemetry.record_cancelled()
         if dispatcher is not None and threading.current_thread() is not dispatcher:
             dispatcher.join(timeout=timeout)
 
@@ -262,10 +420,14 @@ class SolveScheduler:
 
     def _collect_batch(self) -> Optional[List[PendingRequest]]:
         """Block until a batch is due; pop and return it (None = shut down)."""
+        expired: List[PendingRequest] = []
         with self._wakeup:
-            while not self._queue:
-                if self._closed:
-                    return None
+            while True:
+                expired.extend(sweep_expired(self._queue))
+                # Break on swept-out expirations too: their futures must
+                # be resolved now, not after the next submit wakes us.
+                if self._queue or self._closed or expired:
+                    break
                 self._wakeup.wait()
             # Micro-batching window: measured from when the dispatcher
             # starts assembling this batch (it may already hold requests
@@ -276,50 +438,106 @@ class SolveScheduler:
             # adds at most one max_wait_ms window on top of the in-flight
             # solve to any request's wait.  When more arrivals cannot
             # change the dispatch (width-1 scheduler, sequential policy)
-            # the window is pure latency, so it is skipped.
+            # the window is pure latency, so it is skipped.  The window is
+            # additionally capped by the tightest queued deadline: a
+            # near-deadline request is never held for the full window.
             can_batch = self.max_block > 1 and getattr(
                 self.policy, "mode", "auto"
             ) != "sequential"
-            if can_batch:
-                deadline = time.perf_counter() + self.max_wait_seconds
+            if self._queue and can_batch:
+                window_ends = time.perf_counter() + self.max_wait_seconds
                 while len(self._queue) < self.max_block and not self._closed:
-                    remaining = deadline - time.perf_counter()
+                    remaining = window_ends - time.perf_counter()
+                    slack = deadline_slack_seconds(self._queue)
+                    if slack is not None:
+                        remaining = min(remaining, slack)
                     if remaining <= 0:
                         break
                     self._wakeup.wait(timeout=remaining)
+                    expired.extend(sweep_expired(self._queue))
+                    if not self._queue:
+                        break
+            expired.extend(sweep_expired(self._queue))
             if not self._queue:
-                # close(drain=False) emptied the queue mid-window; hand
-                # control back to the outer loop (which exits if closed).
-                return None if self._closed else []
-            width = self.policy.block_width(len(self._queue))
-            popped = [self._queue.popleft() for _ in range(width)]
+                popped: List[PendingRequest] = []
+            else:
+                width = self.policy.block_width(len(self._queue))
+                popped = [self._queue.popleft() for _ in range(width)]
+            closed = self._closed
+        expire_requests(expired, self.telemetry)
+        if not popped:
+            # close(drain=False) emptied the queue mid-window (or every
+            # queued request expired); hand control back to the outer
+            # loop, which exits once closed.
+            return None if closed else []
         batch = []
         for request in popped:
             # Transition the future to RUNNING; a client that cancelled
             # while queued is dropped here and never enters the block.
             if request.future.set_running_or_notify_cancel():
                 batch.append(request)
+            else:
+                self.telemetry.record_cancelled()
         return batch
 
     def _dispatch(self, batch: List[PendingRequest]) -> None:
         run_batch(self._session, batch, self.telemetry)
 
 
+@dataclass
+class BatchReport:
+    """What one dispatch did — the circuit breaker's food.
+
+    ``statuses`` holds the terminal status of every resolved column,
+    ``exception`` the batch-level solver error when the whole dispatch
+    blew up, and ``nonfinite`` whether any resolved column carried a
+    non-finite residual.  :attr:`hard_failure` / :attr:`healthy`
+    implement the breaker's outcome policy: exceptions, breakdowns and
+    non-finite results indict the *operator*; deadline and cancellation
+    outcomes indict the client's budget and are neutral (neither failure
+    nor success).
+    """
+
+    width: int
+    statuses: List[SolverStatus] = field(default_factory=list)
+    exception: Optional[BaseException] = None
+    nonfinite: bool = False
+
+    #: statuses that say nothing about the operator's health
+    NEUTRAL_STATUSES = (SolverStatus.TIMED_OUT, SolverStatus.CANCELLED)
+
+    @property
+    def hard_failure(self) -> bool:
+        return (
+            self.exception is not None
+            or self.nonfinite
+            or any(s == SolverStatus.BREAKDOWN for s in self.statuses)
+        )
+
+    @property
+    def healthy(self) -> bool:
+        return not self.hard_failure and any(
+            s not in self.NEUTRAL_STATUSES for s in self.statuses
+        )
+
+
 def run_batch(
     session: "OperatorSession",
     batch: List[PendingRequest],
     telemetry: ServeTelemetry,
-) -> None:
+) -> BatchReport:
     """Run one assembled batch and resolve its futures (the dispatch core).
 
     Shared by the per-session :class:`SolveScheduler` dispatcher and the
     farm's worker pool (:mod:`repro.serve.farm`): assemble the column
     block, run the batched solve through ``session._solve_block`` (pinned
-    context, pooled workspaces), apply the width-1 retry containment to
-    non-converged columns, demultiplex per-column :class:`ServeResult`
-    objects into the request futures, and account the batch in
-    ``telemetry``.  Solver exceptions are forwarded to every future of the
-    batch; this function itself never raises.
+    context, pooled workspaces, one per-request control token per
+    column), apply the width-1 retry containment to non-converged
+    columns, demultiplex per-column :class:`ServeResult` objects into the
+    request futures, and account the batch in ``telemetry``.  Solver
+    exceptions are forwarded to every future of the batch; this function
+    itself never raises.  Returns a :class:`BatchReport` the farm feeds
+    into the tenant's circuit breaker.
     """
     dispatched_at = time.perf_counter()
     queue_waits = [dispatched_at - r.enqueued_at for r in batch]
@@ -327,28 +545,41 @@ def run_batch(
     B = np.empty((session.n_rows, width), dtype=np.float64, order="F")
     for c, request in enumerate(batch):
         B[:, c] = request.b
+    controls = [request.control for request in batch]
 
     failed = 0
     retried = 0
+    report = BatchReport(width=width)
     try:
         start = time.perf_counter()
-        multi = session._solve_block(B)
+        multi = session._solve_block(B, controls=controls)
         solve_seconds = time.perf_counter() - start
         columns = multi.split()
         solve_times = [solve_seconds] * width
         retry_errors: Dict[int, BaseException] = {}
         if width > 1 and session.retry_failed:
+            no_retry = (
+                SolverStatus.CONVERGED,
+                SolverStatus.TIMED_OUT,
+                SolverStatus.CANCELLED,
+            )
             for c, column in enumerate(columns):
-                if column.status == SolverStatus.CONVERGED:
+                if column.status in no_retry:
+                    # Converged columns need no retry; timed-out and
+                    # cancelled ones must not get one — the client's
+                    # budget is spent, more solver work would violate it.
                     continue
                 # Batch-failure containment: re-solve the column alone
                 # through the width-1 canonical path (see module doc).
                 # A retry failure is attributable to exactly this
-                # request, so it must not touch the batchmates.
+                # request, so it must not touch the batchmates.  The
+                # retry inherits the request's control token, keeping
+                # the deadline binding across both attempts.
                 start = time.perf_counter()
                 try:
                     retry = session._solve_block(
-                        np.asfortranarray(B[:, c : c + 1])
+                        np.asfortranarray(B[:, c : c + 1]),
+                        controls=[batch[c].control],
                     ).split()[0]
                 except Exception as exc:  # noqa: BLE001 - per-column
                     retry_errors[c] = exc
@@ -361,9 +592,14 @@ def run_batch(
         solve_seconds = time.perf_counter() - dispatched_at
         solve_times = [solve_seconds] * width
         failed = width
+        report.exception = exc
         for request in batch:
-            request.future.set_exception(exc)
+            fail_future(request.future, exc)
     else:
+        report.statuses = [column.status for column in columns]
+        report.nonfinite = any(
+            not np.isfinite(column.relative_residual) for column in columns
+        )
         for c, request in enumerate(batch):
             column = columns[c]
             details: Dict[str, object] = {
@@ -374,7 +610,8 @@ def run_batch(
                 # with its (non-converged) batch result; only the
                 # retry error is recorded for this one column.
                 details["retry_error"] = repr(retry_errors[c])
-            request.future.set_result(
+            complete_future(
+                request.future,
                 ServeResult(
                     x=column.x,
                     status=column.status,
@@ -387,7 +624,7 @@ def run_batch(
                     solve_seconds=solve_times[c],
                     batch_size=width,
                     details=details,
-                )
+                ),
             )
     telemetry.record_batch(
         queue_waits,
@@ -395,4 +632,11 @@ def run_batch(
         block_iterations=0 if failed else multi.block_iterations,
         failed=failed,
         retried=retried,
+        timed_out=sum(
+            1 for s in report.statuses if s == SolverStatus.TIMED_OUT
+        ),
+        cancelled=sum(
+            1 for s in report.statuses if s == SolverStatus.CANCELLED
+        ),
     )
+    return report

@@ -410,7 +410,9 @@ class OperatorSession:
             details=dict(result.details),
         )
 
-    def _solve_block(self, B: np.ndarray) -> MultiSolveResult:
+    def _solve_block(
+        self, B: np.ndarray, *, controls: Optional[List] = None
+    ) -> MultiSolveResult:
         """Run one dispatch under the pinned context (the scheduler hook).
 
         Width-1 dispatches run the canonical *single-vector* driver
@@ -418,10 +420,21 @@ class OperatorSession:
         the library's standard solver, bit for bit — while wider
         dispatches run the Block-GMRES drivers.  Both reuse pooled
         workspaces and are serialized on the session solve lock.
+
+        ``controls`` carries one optional
+        :class:`~repro.solvers.SolveControl` per column (deadline /
+        cancellation tokens of the requests riding this dispatch); the
+        solvers poll them at restart boundaries and deflate stopped
+        columns without disturbing their batchmates.
         """
         if self._closed:
             raise RuntimeError("session is closed")
         width = B.shape[1]
+        if controls is not None and len(controls) != width:
+            raise ValueError(
+                f"controls must have one entry per column: got {len(controls)} "
+                f"for a width-{width} block"
+            )
         with self._solve_lock:
             workspace = self.workspace_for(width)
             with use_context(self.context):
@@ -430,22 +443,37 @@ class OperatorSession:
                         self._matrix,
                         B[:, 0],
                         workspace=workspace,
+                        control=controls[0] if controls is not None else None,
                         **self._single_kwargs,
                     )
                     return self._as_multi(result)
                 return self._block_driver(
-                    self._matrix, B, workspace=workspace, **self._block_kwargs
+                    self._matrix,
+                    B,
+                    workspace=workspace,
+                    controls=controls,
+                    **self._block_kwargs,
                 )
 
-    def submit(self, b: np.ndarray) -> "object":
+    def submit(
+        self, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> "object":
         """Enqueue one right-hand side; returns ``Future[ServeResult]``.
 
         The scheduler may coalesce it with other waiting requests into one
         batched solve (see :class:`~repro.serve.scheduler.SolveScheduler`).
+        ``deadline_ms`` bounds the request end to end: expiry in the queue
+        fails the future fast with
+        :class:`~repro.serve.errors.DeadlineExceededError`; expiry
+        mid-solve resolves it normally with status ``TIMED_OUT``.
+        Cancelling the future reaches an in-flight solve cooperatively
+        (status ``CANCELLED`` within one restart cycle).
         """
-        return self.scheduler.submit(b)
+        return self.scheduler.submit(b, deadline_ms=deadline_ms)
 
-    async def asubmit(self, b: np.ndarray) -> "object":
+    async def asubmit(
+        self, b: np.ndarray, *, deadline_ms: Optional[float] = None
+    ) -> "object":
         """Awaitable :meth:`submit`: resolve one request on the event loop.
 
         The ``asyncio`` front of the ``Future``-based scheduler — the
@@ -455,11 +483,14 @@ class OperatorSession:
             result = await session.asubmit(b)
 
         Validation errors surface as the usual :class:`ValueError` when
-        awaited.
+        awaited; a queue-expired ``deadline_ms`` as
+        :class:`~repro.serve.errors.DeadlineExceededError`.
         """
         import asyncio
 
-        return await asyncio.wrap_future(self.scheduler.submit(b))
+        return await asyncio.wrap_future(
+            self.scheduler.submit(b, deadline_ms=deadline_ms)
+        )
 
     def solve(self, b: np.ndarray) -> SolveResult:
         """Synchronous direct solve of one right-hand side (no batching).

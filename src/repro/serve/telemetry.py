@@ -96,6 +96,18 @@ class ServeStats:
         Requests whose batched solve did not converge and that were
         re-solved through the width-1 path before resolving (batch-failure
         containment; see :mod:`repro.serve.scheduler`).
+    requests_timed_out:
+        Requests that hit their ``deadline_ms`` — either expired in the
+        queue (failing fast with ``DeadlineExceededError``, also counted
+        in ``requests_failed``) or resolved with status ``TIMED_OUT``
+        mid-solve (also counted in ``requests_completed``).
+    requests_cancelled:
+        Requests cancelled by their client — dropped from the queue
+        (their future resolves as cancelled; also counted in
+        ``requests_failed``) or resolved with status ``CANCELLED``
+        mid-solve (also counted in ``requests_completed``).  At
+        quiescence ``submitted == completed + failed`` always holds; the
+        timeout/cancellation counters classify *why* within those two.
     batches_dispatched:
         Number of batched solves the scheduler ran.
     batch_occupancy:
@@ -117,6 +129,8 @@ class ServeStats:
     requests_completed: int
     requests_failed: int
     requests_retried: int
+    requests_timed_out: int
+    requests_cancelled: int
     batches_dispatched: int
     batch_occupancy: Dict[int, int]
     queue_wait: LatencySummary
@@ -140,6 +154,8 @@ class ServeStats:
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "requests_retried": self.requests_retried,
+            "requests_timed_out": self.requests_timed_out,
+            "requests_cancelled": self.requests_cancelled,
             "batches_dispatched": self.batches_dispatched,
             "batch_occupancy": {str(k): v for k, v in sorted(self.batch_occupancy.items())},
             "mean_batch_occupancy": self.mean_batch_occupancy,
@@ -161,6 +177,8 @@ class ServeTelemetry:
         self._completed = 0
         self._failed = 0
         self._retried = 0
+        self._timed_out = 0
+        self._cancelled = 0
         self._batches = 0
         self._occupancy: Dict[int, int] = {}
         # Bounded windows: lifetime counters stay exact, the latency
@@ -188,6 +206,31 @@ class ServeTelemetry:
             self._submitted += 1
             self._failed += 1
 
+    def record_timeout(self) -> None:
+        """An already-submitted request expired in the queue.
+
+        The batch assembler found its deadline lapsed and failed it fast
+        with ``DeadlineExceededError`` — it was never dispatched.
+        """
+        with self._lock:
+            self._failed += 1
+            self._timed_out += 1
+
+    def record_cancelled(self) -> None:
+        """An already-submitted request was cancelled while queued.
+
+        Its future resolved as cancelled; the request was dropped before
+        dispatch and no solver work was spent on it.
+        """
+        with self._lock:
+            self._failed += 1
+            self._cancelled += 1
+
+    def record_abandoned(self) -> None:
+        """An already-submitted request was failed by a non-drain close."""
+        with self._lock:
+            self._failed += 1
+
     def record_batch(
         self,
         queue_waits: List[float],
@@ -196,6 +239,8 @@ class ServeTelemetry:
         block_iterations: int = 0,
         failed: int = 0,
         retried: int = 0,
+        timed_out: int = 0,
+        cancelled: int = 0,
     ) -> None:
         """Account one dispatched batch.
 
@@ -205,6 +250,9 @@ class ServeTelemetry:
         gave some of them extra solve time); ``failed`` counts requests
         whose future was resolved with an exception (the rest completed)
         and ``retried`` those that went through the width-1 retry.
+        ``timed_out`` / ``cancelled`` count requests of this batch that
+        resolved with status ``TIMED_OUT`` / ``CANCELLED`` mid-solve —
+        they still count as completed (their future carries a result).
         """
         now = time.perf_counter()
         occupancy = len(queue_waits)
@@ -218,6 +266,8 @@ class ServeTelemetry:
             self._completed += occupancy - failed
             self._failed += failed
             self._retried += retried
+            self._timed_out += timed_out
+            self._cancelled += cancelled
             self._block_iterations += block_iterations
             self._queue_waits.extend(queue_waits)
             self._solves.extend(solve_seconds)
@@ -242,6 +292,8 @@ class ServeTelemetry:
                 requests_completed=self._completed,
                 requests_failed=self._failed,
                 requests_retried=self._retried,
+                requests_timed_out=self._timed_out,
+                requests_cancelled=self._cancelled,
                 batches_dispatched=self._batches,
                 batch_occupancy=dict(self._occupancy),
                 queue_wait=LatencySummary.from_seconds(self._queue_waits),
@@ -277,6 +329,18 @@ class TelemetryFanout:
         for sink in self._sinks:
             sink.record_rejected()
 
+    def record_timeout(self) -> None:
+        for sink in self._sinks:
+            sink.record_timeout()
+
+    def record_cancelled(self) -> None:
+        for sink in self._sinks:
+            sink.record_cancelled()
+
+    def record_abandoned(self) -> None:
+        for sink in self._sinks:
+            sink.record_abandoned()
+
     def record_batch(self, queue_waits, solve_seconds, **kwargs) -> None:
         for sink in self._sinks:
             sink.record_batch(queue_waits, solve_seconds, **kwargs)
@@ -301,6 +365,7 @@ class TenantStats:
     queue_depth: int
     rejected: int
     evictions: int
+    breaker_trips: int
     fairness_share: float
     expected_share: float
     serve: ServeStats
@@ -312,6 +377,7 @@ class TenantStats:
             "queue_depth": self.queue_depth,
             "rejected": self.rejected,
             "evictions": self.evictions,
+            "breaker_trips": self.breaker_trips,
             "fairness_share": self.fairness_share,
             "expected_share": self.expected_share,
             "serve": self.serve.as_dict(),
@@ -334,6 +400,7 @@ class FarmStats:
     sessions_created: int
     evictions: int
     rejections: int
+    breaker_trips: int
     estimated_session_bytes: int
 
     def as_dict(self) -> Dict[str, object]:
@@ -345,6 +412,7 @@ class FarmStats:
             "sessions_created": self.sessions_created,
             "evictions": self.evictions,
             "rejections": self.rejections,
+            "breaker_trips": self.breaker_trips,
             "estimated_session_bytes": self.estimated_session_bytes,
         }
 
@@ -367,6 +435,7 @@ class FarmTelemetry:
         self._sinks: Dict[str, TelemetryFanout] = {}
         self._rejected: Dict[str, int] = {}
         self._evictions: Dict[str, int] = {}
+        self._breaker_trips: Dict[str, int] = {}
         self._creations = 0
 
     # ------------------------------------------------------------------ #
@@ -402,6 +471,11 @@ class FarmTelemetry:
         with self._lock:
             self._evictions[key] = self._evictions.get(key, 0) + 1
 
+    def record_breaker_trip(self, key: str) -> None:
+        """``key``'s circuit breaker tripped (its session is quarantined)."""
+        with self._lock:
+            self._breaker_trips[key] = self._breaker_trips.get(key, 0) + 1
+
     def record_creation(self, key: str) -> None:
         """The registry built (or rebuilt after eviction) ``key``'s session."""
         with self._lock:
@@ -436,6 +510,7 @@ class FarmTelemetry:
             tenant_telemetry = dict(self._tenants)
             rejected = dict(self._rejected)
             evictions = dict(self._evictions)
+            breaker_trips = dict(self._breaker_trips)
             creations = self._creations
         fleet = self._fleet.snapshot()
         total_weight = sum(weights.get(key, 1.0) for key in tenant_telemetry) or 1.0
@@ -449,6 +524,7 @@ class FarmTelemetry:
                 queue_depth=queue_depths.get(key, 0),
                 rejected=rejected.get(key, 0),
                 evictions=evictions.get(key, 0),
+                breaker_trips=breaker_trips.get(key, 0),
                 fairness_share=(
                     stats.requests_completed / completed if completed else 0.0
                 ),
@@ -462,5 +538,6 @@ class FarmTelemetry:
             sessions_created=creations,
             evictions=sum(evictions.values()),
             rejections=sum(rejected.values()),
+            breaker_trips=sum(breaker_trips.values()),
             estimated_session_bytes=estimated_session_bytes,
         )

@@ -19,7 +19,13 @@ from .result import (
     SolveResult,
     SolverStatus,
 )
-from .status import LossOfAccuracyTest, MaxIterationsTest, ResidualTest, StagnationTest
+from .status import (
+    LossOfAccuracyTest,
+    MaxIterationsTest,
+    ResidualTest,
+    SolveControl,
+    StagnationTest,
+)
 from .gmres import gmres, run_gmres_cycle, GmresWorkspace, CycleOutcome
 from .gmres_ir import gmres_ir
 from .gmres_fd import gmres_fd
@@ -44,6 +50,7 @@ __all__ = [
     "MaxIterationsTest",
     "LossOfAccuracyTest",
     "StagnationTest",
+    "SolveControl",
     "gmres",
     "run_gmres_cycle",
     "GmresWorkspace",

@@ -32,7 +32,7 @@ contract, so a block iteration allocates nothing once the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,7 +48,7 @@ from ..preconditioners.mixed import wrap_for_precision
 from ..sparse.csr import CsrMatrix
 from .gmres import _fp64_relative_residual
 from .result import ConvergenceHistory, MultiSolveResult, SolverStatus
-from .status import LossOfAccuracyTest, StagnationTest
+from .status import LossOfAccuracyTest, SolveControl, StagnationTest
 
 __all__ = [
     "BlockGmresWorkspace",
@@ -188,6 +188,7 @@ def run_block_gmres_cycle(
     preconditioner: Preconditioner,
     absolute_targets: Optional[np.ndarray] = None,
     max_steps: Optional[int] = None,
+    control: Optional[SolveControl] = None,
 ) -> BlockCycleOutcome:
     """Run one restart cycle of Block-GMRES and return the update block.
 
@@ -214,6 +215,10 @@ def run_block_gmres_cycle(
         steps (the GMRES-IR inner-cycle convention).
     max_steps:
         Optional cap below the restart length.
+    control:
+        Optional whole-block :class:`~repro.solvers.SolveControl` polled
+        every ``control.check_interval`` block steps; when triggered the
+        cycle ends early and still returns the partial update.
     """
     dtype = workspace.precision.dtype
     if matrix.dtype != dtype:
@@ -269,10 +274,18 @@ def run_block_gmres_cycle(
         basis.set_count((j + 2) * k)
         givens.residual_norms(out=implicit[j, :k])
         iterations += 1
+        if control is not None:
+            control.charge(1)
         if absolute_targets is not None and np.all(
             implicit[j, :k] <= absolute_targets
         ):
             implicit_converged = True
+            break
+        if (
+            control is not None
+            and iterations % control.check_interval == 0
+            and control.poll() is not None
+        ):
             break
 
     y = givens.solve(out=workspace.ycoef(k)[: iterations * k])
@@ -356,6 +369,21 @@ class _ColumnTracker:
         self.active = [self.active[i] for i in keep]
 
 
+def _resolve_controls(
+    controls: Optional[Sequence[Optional[SolveControl]]], p: int
+) -> Optional[List[Optional[SolveControl]]]:
+    """Validate the per-column control list of a batched solve."""
+    if controls is None:
+        return None
+    controls = list(controls)
+    if len(controls) != p:
+        raise ValueError(
+            f"controls must have one entry per right-hand side "
+            f"({len(controls)} given for {p} columns)"
+        )
+    return controls
+
+
 def block_gmres(
     matrix: CsrMatrix,
     B: np.ndarray,
@@ -374,6 +402,8 @@ def block_gmres(
     stagnation: Optional[StagnationTest] = None,
     fp64_check: bool = True,
     workspace: Optional[BlockGmresWorkspace] = None,
+    control: Optional[SolveControl] = None,
+    controls: Optional[Sequence[Optional[SolveControl]]] = None,
 ) -> MultiSolveResult:
     """Solve ``A X = B`` for a block of right-hand sides with Block-GMRES.
 
@@ -408,6 +438,19 @@ def block_gmres(
         workspaces per block width so repeated dispatches on one operator
         allocate no Krylov storage; numerics are bit-identical to a fresh
         workspace.
+    control:
+        Optional whole-solve :class:`~repro.solvers.SolveControl` — polled
+        at every restart boundary (and every ``check_interval`` block
+        steps inside a cycle); when triggered *every* remaining column is
+        finalized with the demanded status.
+    controls:
+        Optional per-column control list (one entry per right-hand side,
+        entries may be ``None``).  A triggered column is **deflated** at
+        the next restart boundary — its partial iterate is frozen with
+        status ``TIMED_OUT`` / ``CANCELLED`` / ``MAX_ITERATIONS`` while
+        the other columns keep iterating.  This is how the serve layer
+        cancels one request of an in-flight batch within one restart
+        cycle without disturbing its batchmates.
 
     Returns
     -------
@@ -455,6 +498,7 @@ def block_gmres(
         else None
     )
 
+    controls = _resolve_controls(controls, p)
     tracker = _ColumnTracker(B, X0, prec.dtype)
     pending_implicit = np.full(p, np.nan)
     total_block_iterations = 0
@@ -489,8 +533,19 @@ def block_gmres(
                 tracker.histories[col].record_explicit(
                     int(tracker.steps_alive[col]), rel
                 )
+                demanded = (
+                    controls[col].poll()
+                    if controls is not None and controls[col] is not None
+                    else None
+                )
                 if rel <= tol:
                     tracker.finalize(i, SolverStatus.CONVERGED)
+                elif not np.isfinite(rel):
+                    # A NaN/Inf column cannot recover (and would poison the
+                    # shared basis): classify it and deflate.
+                    tracker.finalize(i, SolverStatus.BREAKDOWN)
+                elif demanded is not None:
+                    tracker.finalize(i, demanded)
                 elif (
                     loa is not None
                     and np.isfinite(pending_implicit[col])
@@ -504,6 +559,11 @@ def block_gmres(
             tracker.compact(extras=(workspace.R,))
             if not tracker.active:
                 break
+            if control is not None:
+                demanded = control.poll()
+                if demanded is not None:
+                    tracker.finalize_all(demanded)
+                    break
             if total_block_iterations >= max_iterations or restarts >= max_restarts:
                 tracker.finalize_all(SolverStatus.MAX_ITERATIONS)
                 break
@@ -519,8 +579,11 @@ def block_gmres(
                 preconditioner=precond,
                 absolute_targets=targets,
                 max_steps=min(restart, remaining),
+                control=control,
             )
             for i, col in enumerate(tracker.active):
+                if controls is not None and controls[col] is not None:
+                    controls[col].charge(outcome.iterations)
                 base = int(tracker.steps_alive[col])
                 hit = -1
                 for step in range(outcome.iterations):
@@ -606,6 +669,8 @@ def block_gmres_ir(
     name: Optional[str] = None,
     fp64_check: bool = True,
     workspace: Optional[BlockGmresWorkspace] = None,
+    control: Optional[SolveControl] = None,
+    controls: Optional[Sequence[Optional[SolveControl]]] = None,
 ) -> MultiSolveResult:
     """Batched GMRES-IR: blocked fp32 inner cycles with fp64 refinement.
 
@@ -616,6 +681,11 @@ def block_gmres_ir(
     full Block-GMRES cycles in the inner precision on the correction
     system ``A U = R`` (inner implicit residuals are not trusted for
     convergence, exactly as in the single-vector solver).
+
+    ``control`` / ``controls`` behave as in :func:`block_gmres`: a
+    whole-solve token finalizes every remaining column when triggered, a
+    per-column token deflates just its column at the next refinement
+    boundary.
     """
     cfg = get_config()
     restart = cfg.restart if restart is None else int(restart)
@@ -652,6 +722,7 @@ def block_gmres_ir(
     workspace = _resolve_workspace(workspace, n, restart, p, inner)
     timer = timer or KernelTimer(solver_name)
 
+    controls = _resolve_controls(controls, p)
     tracker = _ColumnTracker(B, X0, outer.dtype)
     # Refinement-block scratch, reused across all refinement steps.
     w_outer = np.empty((n, p), dtype=outer.dtype, order="F")
@@ -696,11 +767,25 @@ def block_gmres_ir(
                 tracker.histories[col].record_explicit(
                     int(tracker.steps_alive[col]), rel
                 )
+                demanded = (
+                    controls[col].poll()
+                    if controls is not None and controls[col] is not None
+                    else None
+                )
                 if rel <= tol:
                     tracker.finalize(i, SolverStatus.CONVERGED)
+                elif not np.isfinite(rel):
+                    tracker.finalize(i, SolverStatus.BREAKDOWN)
+                elif demanded is not None:
+                    tracker.finalize(i, demanded)
             tracker.compact(extras=(r_outer,))
             if not tracker.active:
                 break
+            if control is not None:
+                demanded = control.poll()
+                if demanded is not None:
+                    tracker.finalize_all(demanded)
+                    break
             if total_block_iterations >= max_iterations or refinements >= max_restarts:
                 tracker.finalize_all(SolverStatus.MAX_ITERATIONS)
                 break
@@ -729,8 +814,11 @@ def block_gmres_ir(
                     preconditioner=precond,
                     absolute_targets=None,  # inner residuals are not trusted
                     max_steps=min(restart, remaining),
+                    control=control,
                 )
                 for i, col in enumerate(tracker.active):
+                    if controls is not None and controls[col] is not None:
+                        controls[col].charge(outcome.iterations)
                     base = int(tracker.steps_alive[col])
                     for step in range(outcome.iterations):
                         tracker.histories[col].record_implicit(
@@ -828,6 +916,7 @@ def solve_many(
     block_size: Optional[int] = None,
     timer: Optional[KernelTimer] = None,
     workspace: Optional[BlockGmresWorkspace] = None,
+    controls: Optional[Sequence[Optional[SolveControl]]] = None,
     **kwargs,
 ) -> MultiSolveResult:
     """Solve ``A X = B`` for many right-hand sides with the batched path.
@@ -851,8 +940,13 @@ def solve_many(
         Optional pre-allocated :class:`BlockGmresWorkspace` shared by all
         chunks (each chunk is at most ``block_size`` columns wide, so one
         workspace of that width serves the whole batch).
+    controls:
+        Optional per-right-hand-side :class:`~repro.solvers.SolveControl`
+        list (entries may be ``None``); each chunk receives the slice for
+        its columns.
     kwargs:
-        Forwarded to the block driver (restart, tol, preconditioner, ...).
+        Forwarded to the block driver (restart, tol, preconditioner,
+        ``control`` for a whole-batch token, ...).
     """
     drivers = {
         "gmres": ("block-gmres", block_gmres),
@@ -880,6 +974,7 @@ def solve_many(
             raise ValueError("initial-guess block must match the right-hand sides")
     width = p if block_size is None else max(1, min(int(block_size), p))
     timer = timer or KernelTimer(f"solve-many-{solver_label}")
+    controls = _resolve_controls(controls, p)
 
     results = []
     for start in range(0, p, width):
@@ -891,6 +986,7 @@ def solve_many(
                 X0[:, start:stop] if X0 is not None else None,
                 timer=timer,
                 workspace=workspace,
+                controls=controls[start:stop] if controls is not None else None,
                 **kwargs,
             )
         )

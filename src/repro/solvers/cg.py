@@ -27,6 +27,7 @@ from ..preconditioners.mixed import wrap_for_precision
 from ..sparse.csr import CsrMatrix
 from .gmres import _fp64_relative_residual
 from .result import ConvergenceHistory, SolveResult, SolverStatus
+from .status import SolveControl
 
 __all__ = ["cg"]
 
@@ -44,6 +45,7 @@ def cg(
     name: Optional[str] = None,
     explicit_residual_every: int = 50,
     fp64_check: bool = True,
+    control: Optional[SolveControl] = None,
 ) -> SolveResult:
     """Solve an SPD system ``A x = b`` with (preconditioned) conjugate gradients.
 
@@ -64,6 +66,11 @@ def cg(
         Recompute the true residual every ``k`` iterations (and at the end)
         to guard against drift of the recursive residual; mirrors the
         restart-time residual recomputation of GMRES.
+    control:
+        Optional :class:`~repro.solvers.SolveControl` polled every
+        ``control.check_interval`` iterations; a triggered control stops
+        the solve with ``TIMED_OUT`` / ``CANCELLED`` / ``MAX_ITERATIONS``
+        and returns the current iterate.
     """
     cfg = get_config()
     tol = cfg.rtol if tol is None else float(tol)
@@ -154,6 +161,8 @@ def cg(
             kernels.axpy(alpha, p, x)
             kernels.axpy(-alpha, Ap, r)
             iterations += 1
+            if control is not None:
+                control.charge(1)
 
             if explicit_residual_every and iterations % explicit_residual_every == 0:
                 kernels.spmv(A, x, out=w)
@@ -166,6 +175,15 @@ def cg(
                 rnorm = kernels.norm2(r)
                 relative_residual = rnorm / bnorm
             history.record_implicit(iterations, relative_residual)
+
+            if not np.isfinite(relative_residual):
+                status = SolverStatus.BREAKDOWN
+                break
+            if control is not None and iterations % control.check_interval == 0:
+                demanded = control.poll()
+                if demanded is not None:
+                    status = demanded
+                    break
 
             z = r if precond.is_identity else precond.apply(r, out=z_buf)
             rz_new = kernels.dot(r, z)

@@ -38,7 +38,7 @@ from ..preconditioners.base import IdentityPreconditioner, Preconditioner
 from ..preconditioners.mixed import wrap_for_precision
 from ..sparse.csr import CsrMatrix
 from .result import ConvergenceHistory, SolveResult, SolverStatus
-from .status import LossOfAccuracyTest, StagnationTest
+from .status import LossOfAccuracyTest, SolveControl, StagnationTest
 
 __all__ = ["gmres", "run_gmres_cycle", "CycleOutcome", "GmresWorkspace"]
 
@@ -150,6 +150,7 @@ def run_gmres_cycle(
     preconditioner: Preconditioner,
     absolute_target: Optional[float] = None,
     max_steps: Optional[int] = None,
+    control: Optional[SolveControl] = None,
 ) -> CycleOutcome:
     """Run one restart cycle of GMRES(m) and return the solution update.
 
@@ -178,6 +179,11 @@ def run_gmres_cycle(
     max_steps:
         Optional cap below the restart length (used by GMRES-FD to stop at
         the precision-switch iteration).
+    control:
+        Optional :class:`~repro.solvers.SolveControl` polled every
+        ``control.check_interval`` Arnoldi steps; when it demands a stop
+        the cycle ends early and still returns the partial update (the
+        driver classifies the terminal status at the restart boundary).
 
     Returns
     -------
@@ -226,6 +232,8 @@ def run_gmres_cycle(
         implicit = givens.append_column(h, h_next)
         implicit_norms.append(implicit)
         iterations += 1
+        if control is not None:
+            control.charge(1)
 
         if h_next <= BREAKDOWN_TOLERANCE:
             breakdown = True
@@ -237,6 +245,12 @@ def run_gmres_cycle(
         basis.set_count(j + 2)  # column j+1 is already in place
         if absolute_target is not None and implicit <= absolute_target:
             implicit_converged = True
+            break
+        if (
+            control is not None
+            and iterations % control.check_interval == 0
+            and control.poll() is not None
+        ):
             break
 
     y = givens.solve(out=workspace.hcol[:iterations])
@@ -270,6 +284,7 @@ def gmres(
     stagnation: Optional[StagnationTest] = None,
     fp64_check: bool = True,
     workspace: Optional[GmresWorkspace] = None,
+    control: Optional[SolveControl] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) in a single working precision.
 
@@ -311,6 +326,13 @@ def gmres(
         accommodate this solve's shape).  The serve layer pools one for
         its width-1 dispatches; numerics are bit-identical to a fresh
         workspace.
+    control:
+        Optional :class:`~repro.solvers.SolveControl` — a cooperative
+        deadline / cancellation / iteration-budget token polled at every
+        restart boundary and every ``control.check_interval`` inner
+        iterations.  A triggered control terminates the solve with status
+        ``TIMED_OUT``, ``CANCELLED`` or ``MAX_ITERATIONS`` and returns the
+        best iterate reached so far.
 
     Returns
     -------
@@ -385,6 +407,17 @@ def gmres(
             if relative_residual <= tol:
                 status = SolverStatus.CONVERGED
                 break
+            if not np.isfinite(relative_residual):
+                # A NaN/Inf residual means the working precision broke down
+                # (overflow, or an injected fault); no amount of further
+                # iteration recovers, so classify instead of looping.
+                status = SolverStatus.BREAKDOWN
+                break
+            if control is not None:
+                demanded = control.poll()
+                if demanded is not None:
+                    status = demanded
+                    break
             if (
                 loa is not None
                 and pending_implicit is not None
@@ -409,6 +442,7 @@ def gmres(
                 preconditioner=precond,
                 absolute_target=tol * bnorm,
                 max_steps=min(restart, remaining),
+                control=control,
             )
             for k, implicit_abs in enumerate(outcome.implicit_norms, start=1):
                 history.record_implicit(total_iterations + k, implicit_abs / bnorm)

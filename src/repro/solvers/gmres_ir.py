@@ -41,6 +41,7 @@ from .gmres import (
     _resolve_gmres_workspace,
 )
 from .result import ConvergenceHistory, SolveResult, SolverStatus
+from .status import SolveControl
 
 __all__ = ["gmres_ir"]
 
@@ -63,6 +64,7 @@ def gmres_ir(
     name: Optional[str] = None,
     fp64_check: bool = True,
     workspace: Optional[GmresWorkspace] = None,
+    control: Optional[SolveControl] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with GMRES-IR (fp32 inner cycles, fp64 refinement).
 
@@ -92,6 +94,11 @@ def gmres_ir(
         then restarts from its own fp32 residual in between).
     timer, name, ortho, fp64_check:
         As in :func:`repro.solvers.gmres.gmres`.
+    control:
+        Optional :class:`~repro.solvers.SolveControl` polled at every
+        refinement boundary and every ``control.check_interval`` inner
+        iterations; a triggered control terminates with ``TIMED_OUT`` /
+        ``CANCELLED`` / ``MAX_ITERATIONS`` and keeps the refined iterate.
     """
     cfg = get_config()
     restart = cfg.restart if restart is None else int(restart)
@@ -177,6 +184,17 @@ def gmres_ir(
             if relative_residual <= tol:
                 status = SolverStatus.CONVERGED
                 break
+            if not np.isfinite(relative_residual):
+                # Non-finite outer residual: the iterate has been destroyed
+                # (inner-precision overflow or an injected fault) — classify
+                # as breakdown instead of refining NaNs forever.
+                status = SolverStatus.BREAKDOWN
+                break
+            if control is not None:
+                demanded = control.poll()
+                if demanded is not None:
+                    status = demanded
+                    break
             if total_iterations >= max_iterations or refinements >= max_restarts:
                 status = SolverStatus.MAX_ITERATIONS
                 break
@@ -204,6 +222,7 @@ def gmres_ir(
                     preconditioner=precond,
                     absolute_target=None,  # inner residuals are not trusted
                     max_steps=min(restart, remaining),
+                    control=control,
                 )
                 for k, implicit_abs in enumerate(outcome.implicit_norms, start=1):
                     history.record_implicit(

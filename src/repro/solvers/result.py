@@ -35,6 +35,8 @@ class SolverStatus(str, enum.Enum):
     LOSS_OF_ACCURACY = "loss_of_accuracy"
     BREAKDOWN = "breakdown"
     STAGNATION = "stagnation"
+    TIMED_OUT = "timed_out"
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -1,0 +1,22 @@
+"""repro.testing — fault injection and chaos-testing utilities.
+
+Support code for *testing the library against itself*: the fault-tolerance
+layer (deadlines, cancellation, circuit breaking — see
+:mod:`repro.serve`) claims that no failure mode can hang a future or lose
+a request, and :mod:`repro.testing.faults` supplies the adversary that
+claim is proved against — a :class:`FaultInjectingBackend` that wraps any
+real kernel backend and injects NaNs, exceptions and latency spikes with
+a seeded RNG.
+
+Nothing in here is needed to *use* the library; it is shipped (rather
+than hidden in ``tests/``) so downstream users can chaos-test their own
+serving configurations the same way the test suite does.
+"""
+
+from .faults import FaultInjectedError, FaultInjectingBackend, fault_injecting_session_factory
+
+__all__ = [
+    "FaultInjectedError",
+    "FaultInjectingBackend",
+    "fault_injecting_session_factory",
+]

@@ -1,0 +1,281 @@
+"""Fault-injecting kernel backend: the chaos half of the fault-tolerance story.
+
+The serve layer promises that *every* submit resolves with a terminal
+outcome — a result with a terminal status, or a policy error — no matter
+what the kernels underneath do.  :class:`FaultInjectingBackend` is the
+adversary that promise is tested against: it wraps a real
+:class:`~repro.backends.base.KernelBackend` and, with a seeded RNG,
+makes individual kernel calls
+
+* **poison their result with NaN** (``nan_rate``) — modelling the silent
+  data corruption / denormal blow-ups mixed-precision work is exposed to;
+  the solvers must classify the resulting non-finite residual as
+  ``BREAKDOWN`` rather than iterating on garbage;
+* **raise** :class:`FaultInjectedError` (``exception_rate``) — modelling
+  hard kernel faults (device resets, OOM); the serve layer must forward
+  it to exactly the futures of the affected batch;
+* **stall** (``latency_rate`` / ``latency_ms``) — modelling latency
+  spikes; deadline enforcement must still hold.
+
+Determinism: the injection sequence is driven by one
+``np.random.default_rng(seed)`` under a lock, so a chaos test is
+reproducible per seed even though calls arrive from several worker
+threads (the *assignment* of faults to calls can still vary with thread
+interleaving — chaos tests must assert invariants, not exact outcomes).
+
+Typical use (see ``tests/test_chaos.py``)::
+
+    from repro.testing import FaultInjectingBackend, fault_injecting_session_factory
+
+    faulty = FaultInjectingBackend(get_backend("numpy"), seed=7,
+                                   nan_rate=0.01, exception_rate=0.005)
+    farm.register("chaotic", factory=fault_injecting_session_factory(
+        A, faulty, restart=10), n_rows=A.n_rows)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..backends.base import KernelBackend
+
+__all__ = [
+    "FaultInjectedError",
+    "FaultInjectingBackend",
+    "KERNEL_NAMES",
+    "fault_injecting_session_factory",
+]
+
+#: Every kernel of the :class:`~repro.backends.base.KernelBackend` protocol.
+KERNEL_NAMES = (
+    "spmv",
+    "spmv_transpose",
+    "spmm",
+    "gemv_transpose",
+    "gemv_notrans",
+    "gemm_transpose",
+    "gemm_notrans",
+    "dot",
+    "norm2",
+    "axpy",
+    "scal",
+    "copy",
+    "diag_scale",
+    "block_diag_solve",
+)
+
+
+class FaultInjectedError(RuntimeError):
+    """A deliberately injected kernel fault (chaos testing only)."""
+
+    def __init__(self, kernel: str) -> None:
+        super().__init__(f"injected fault in kernel {kernel!r}")
+        self.kernel = kernel
+
+
+class FaultInjectingBackend(KernelBackend):
+    """Wrap a real backend; corrupt, fail or stall a fraction of its calls.
+
+    Parameters
+    ----------
+    inner:
+        The backend that executes the arithmetic when no fault fires.
+    seed:
+        Seed of the injection RNG (one draw per kernel call, under a
+        lock — deterministic per seed up to thread interleaving).
+    nan_rate / exception_rate / latency_rate:
+        Per-call probabilities of the three fault kinds.  At most one
+        fault fires per call (exception beats NaN beats latency).
+    latency_ms:
+        Sleep injected on a latency fault.
+    kernels:
+        Optional subset of :data:`KERNEL_NAMES` to target; every other
+        kernel passes through untouched (e.g. ``kernels={"spmm"}``
+        poisons only the batched operator product).
+
+    Counters (:meth:`stats`) record how many faults of each kind actually
+    fired, so a chaos test can reconcile observed failures against
+    injected ones.
+    """
+
+    def __init__(
+        self,
+        inner: KernelBackend,
+        *,
+        seed: int = 0,
+        nan_rate: float = 0.0,
+        exception_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_ms: float = 1.0,
+        kernels: Optional[Iterable[str]] = None,
+    ) -> None:
+        for rate in (nan_rate, exception_rate, latency_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be probabilities in [0, 1]")
+        if kernels is not None:
+            unknown = set(kernels) - set(KERNEL_NAMES)
+            if unknown:
+                raise ValueError(f"unknown kernel names: {sorted(unknown)}")
+        self.inner = inner
+        self.name = f"faulty({inner.name})"
+        self.nan_rate = float(nan_rate)
+        self.exception_rate = float(exception_rate)
+        self.latency_rate = float(latency_rate)
+        self.latency_ms = float(latency_ms)
+        self.kernels = None if kernels is None else frozenset(kernels)
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {
+            "nan": 0,
+            "exception": 0,
+            "latency": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # injection machinery                                                #
+    # ------------------------------------------------------------------ #
+    def _roll(self, kernel: str) -> Optional[str]:
+        """Decide this call's fate: None / "exception" / "nan" / "latency"."""
+        with self._lock:
+            self._calls[kernel] = self._calls.get(kernel, 0) + 1
+            if self.kernels is not None and kernel not in self.kernels:
+                return None
+            u = float(self._rng.random())
+            if u < self.exception_rate:
+                fault = "exception"
+            elif u < self.exception_rate + self.nan_rate:
+                fault = "nan"
+            elif u < self.exception_rate + self.nan_rate + self.latency_rate:
+                fault = "latency"
+            else:
+                return None
+            self._injected[fault] += 1
+            return fault
+
+    def _run(self, kernel: str, call):
+        fault = self._roll(kernel)
+        if fault == "exception":
+            raise FaultInjectedError(kernel)
+        if fault == "latency":
+            time.sleep(self.latency_ms / 1e3)
+        result = call()
+        if fault == "nan":
+            if isinstance(result, np.ndarray):
+                # In-place poke keeps the out=/work= buffer contract: the
+                # caller's buffer is still the returned object.
+                result.flat[0] = np.nan
+            else:
+                result = type(result)(np.nan) if result is not None else result
+        return result
+
+    def stats(self) -> Dict[str, object]:
+        """Injection counters: per-kernel calls and per-kind fired faults."""
+        with self._lock:
+            return {
+                "calls": dict(self._calls),
+                "injected": dict(self._injected),
+                "total_calls": sum(self._calls.values()),
+                "total_injected": sum(self._injected.values()),
+            }
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self._injected.values())
+
+    # ------------------------------------------------------------------ #
+    # the wrapped protocol                                               #
+    # ------------------------------------------------------------------ #
+    def spmv(self, matrix, x, out=None):
+        return self._run("spmv", lambda: self.inner.spmv(matrix, x, out))
+
+    def spmv_transpose(self, matrix, x, out=None):
+        return self._run(
+            "spmv_transpose", lambda: self.inner.spmv_transpose(matrix, x, out)
+        )
+
+    def spmm(self, matrix, X, out=None):
+        return self._run("spmm", lambda: self.inner.spmm(matrix, X, out))
+
+    def gemv_transpose(self, V, w, out=None):
+        return self._run(
+            "gemv_transpose", lambda: self.inner.gemv_transpose(V, w, out)
+        )
+
+    def gemv_notrans(self, V, h, w, *, alpha=-1.0, work=None):
+        return self._run(
+            "gemv_notrans",
+            lambda: self.inner.gemv_notrans(V, h, w, alpha=alpha, work=work),
+        )
+
+    def gemm_transpose(self, V, W, out=None):
+        return self._run(
+            "gemm_transpose", lambda: self.inner.gemm_transpose(V, W, out)
+        )
+
+    def gemm_notrans(self, V, H, W, *, alpha=-1.0, work=None):
+        return self._run(
+            "gemm_notrans",
+            lambda: self.inner.gemm_notrans(V, H, W, alpha=alpha, work=work),
+        )
+
+    def dot(self, x, y):
+        return self._run("dot", lambda: self.inner.dot(x, y))
+
+    def norm2(self, x):
+        return self._run("norm2", lambda: self.inner.norm2(x))
+
+    def axpy(self, alpha, x, y, work=None):
+        return self._run("axpy", lambda: self.inner.axpy(alpha, x, y, work))
+
+    def scal(self, alpha, x):
+        return self._run("scal", lambda: self.inner.scal(alpha, x))
+
+    def copy(self, x, out=None):
+        return self._run("copy", lambda: self.inner.copy(x, out))
+
+    def diag_scale(self, scale, x, out=None):
+        return self._run(
+            "diag_scale", lambda: self.inner.diag_scale(scale, x, out)
+        )
+
+    def block_diag_solve(self, inv_blocks, x, out=None):
+        return self._run(
+            "block_diag_solve",
+            lambda: self.inner.block_diag_solve(inv_blocks, x, out),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjectingBackend over {self.inner!r} "
+            f"rates=(exc={self.exception_rate}, nan={self.nan_rate}, "
+            f"lat={self.latency_rate})>"
+        )
+
+
+def fault_injecting_session_factory(matrix, backend: KernelBackend, **session_kwargs):
+    """A farm session factory whose session pins ``backend``.
+
+    :class:`~repro.serve.session.OperatorSession` pins the *construction
+    thread's* active context; farm factories run on worker threads, so a
+    chaos test cannot just wrap ``register`` in ``use_backend``.  This
+    helper bakes the (typically fault-injecting) backend into the factory
+    itself::
+
+        farm.register("chaotic",
+                      factory=fault_injecting_session_factory(A, faulty, tol=1e-8),
+                      n_rows=A.n_rows)
+    """
+    from ..linalg.context import use_backend
+    from ..serve.session import OperatorSession
+
+    def factory() -> "OperatorSession":
+        with use_backend(backend):
+            return OperatorSession(matrix, **session_kwargs)
+
+    return factory
