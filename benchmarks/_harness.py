@@ -46,6 +46,16 @@ the machine-readable benchmark output used by CI:
   the farm acceptance gate (``FARM_GATE``: ≥1.5× fleet RHS/s over the
   naive baseline on the reference backend, no cold tenant's p95 latency
   degraded more than 3× by the hot neighbour, evictions observed).
+* ``python benchmarks/_harness.py --obs`` measures the observability
+  layer's serving cost: the ``--serve`` batched client mix is replayed
+  with obs fully off (baseline), metrics-only (the default) and with
+  request tracing + solver probes on, interleaved so drift cancels.
+  Emits ``BENCH_obs.json`` with the measured throughput cost of each
+  state plus the traced run's Chrome trace-event artifact
+  (``TRACE_obs.json``, opens in chrome://tracing / Perfetto); *enforces*
+  the overhead gate (``OBS_GATE``: tracing off costs <2% RHS/s, tracing
+  on <10%, on the reference backend) and checks that the span ledger
+  reconciles with the service telemetry.
 
 The backend-selection/setup boilerplate those modes share lives in
 :func:`backend_context` / :func:`each_backend`.
@@ -796,6 +806,251 @@ def run_serve(
     return path
 
 
+#: The observability overhead gate, checked on the reference backend
+#: against the same workload shape as the ``--serve`` batched mode:
+#: with tracing *disabled* (the default: metrics collectors only) the
+#: serving throughput must stay within ``max_untraced_cost`` of the
+#: obs-free baseline, and with tracing *enabled* within
+#: ``max_traced_cost`` — observability must be cheap when off and
+#: affordable when on.
+OBS_GATE = {
+    "backend": "numpy",
+    "matrix": "Laplace3D32",
+    "max_untraced_cost": 0.02,
+    "max_traced_cost": 0.10,
+}
+
+#: The three instrumentation states the overhead benchmark interleaves.
+_OBS_VARIANTS = ("baseline", "untraced", "traced")
+
+
+def run_obs(
+    out: Optional[pathlib.Path] = None,
+    *,
+    grid: int = 32,
+    clients: int = 8,
+    requests_per_client: int = 3,
+    tol: float = 1e-8,
+    repeats: int = 6,
+    trace_out: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Observability overhead benchmark → BENCH_obs.json (with gate).
+
+    Replays the ``--serve`` batched client mix (``clients`` threads, one
+    in-flight request each) against three identically configured sessions
+    that differ only in instrumentation:
+
+    * ``baseline`` — :meth:`repro.obs.Observability.disabled`: no tracer,
+      no metrics registry (the PR-8 state);
+    * ``untraced`` — metrics collectors registered, tracing off (the
+      library default);
+    * ``traced`` — a live :class:`repro.obs.Tracer` spanning every
+      request plus solver probes, with metrics on.
+
+    The variants are interleaved across ``repeats`` and each keeps its
+    best wall time, so machine drift cancels out of the overhead ratios.
+    The traced run's span ledger must reconcile with the service
+    telemetry (one ``request`` root per submitted request,
+    ``submitted == completed + failed``); its Chrome trace-event export
+    is written next to the JSON (``TRACE_obs.json``) and the gate
+    (:data:`OBS_GATE`) bounds both overhead ratios on the reference
+    backend.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.config import rng
+    from repro.matrices import laplace3d
+    from repro.obs import (
+        MetricsRegistry,
+        Observability,
+        Tracer,
+        export_chrome_trace,
+        prometheus_text,
+    )
+    from repro.preconditioners.polynomial import GmresPolynomialPreconditioner
+    from repro.serve import OperatorSession
+
+    matrix = laplace3d(grid)
+    label = f"Laplace3D{grid}"
+    precond = GmresPolynomialPreconditioner(matrix, degree=16)
+    total = clients * requests_per_client
+    B = rng(2026).standard_normal((matrix.n_rows, total))
+    session_kwargs = dict(_SERVE_MODES[1][1])  # the batched serving config
+    entries: List[Dict[str, object]] = []
+    costs: Dict[str, Dict[str, float]] = {}
+    trace_path = trace_out or (RESULTS_DIR / "TRACE_obs.json")
+
+    def make_obs(variant: str) -> "Observability":
+        if variant == "baseline":
+            return Observability.disabled()
+        if variant == "untraced":
+            return Observability(tracer=None, registry=MetricsRegistry())
+        return Observability(
+            tracer=Tracer(), registry=MetricsRegistry()
+        )
+
+    for backend in each_backend():
+
+        def drive_clients(session):
+            errors: List[BaseException] = []
+
+            def client(c):
+                try:
+                    for j in range(requests_per_client):
+                        idx = c * requests_per_client + j
+                        result = session.submit(B[:, idx]).result(timeout=600)
+                        assert result.converged, (
+                            f"request {idx} ended {result.status}"
+                        )
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(c,), name=f"client-{c}")
+                for c in range(clients)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - start
+            if errors:
+                raise SystemExit(f"[obs] {backend}: client errors: {errors[:3]}")
+            return wall
+
+        best: Dict[str, tuple] = {}
+        for _ in range(max(1, repeats)):
+            for variant in _OBS_VARIANTS:
+                obs = make_obs(variant)
+                session = OperatorSession(
+                    matrix, preconditioner=precond, tol=tol, obs=obs,
+                    **session_kwargs,
+                )
+                try:
+                    session.solve(B[:, 0])
+                    session.solve_many(B[:, : session.max_block])
+                    wall = drive_clients(session)
+                    stats = session.stats()
+                finally:
+                    session.close()
+                assert stats.requests_completed >= total
+                if variant == "traced":
+                    # Span ledger reconciles with the service telemetry.
+                    tracer = obs.tracer
+                    assert tracer.open_spans == 0, "span leak under load"
+                    roots = [
+                        s for s in tracer.finished_spans()
+                        if s.name == "request"
+                    ]
+                    dropped = tracer.dropped_spans
+                    if dropped == 0 and len(roots) != stats.requests_submitted:
+                        raise SystemExit(
+                            f"[obs] {backend}: {len(roots)} request spans != "
+                            f"{stats.requests_submitted} submitted requests"
+                        )
+                    if stats.requests_submitted != (
+                        stats.requests_completed + stats.requests_failed
+                    ):
+                        raise SystemExit(f"[obs] {backend}: telemetry skew")
+                if variant == "untraced":
+                    # The collectors actually publish on scrape.
+                    text = prometheus_text(obs.registry)
+                    if "repro_requests_submitted_total" not in text:
+                        raise SystemExit(
+                            f"[obs] {backend}: metrics collector silent"
+                        )
+                if variant not in best or wall < best[variant][0]:
+                    best[variant] = (wall, stats, obs)
+
+        baseline_rps = total / best["baseline"][0]
+        costs[backend] = {}
+        for variant in _OBS_VARIANTS:
+            wall, stats, obs = best[variant]
+            rps = total / wall
+            cost = 1.0 - rps / baseline_rps
+            if variant != "baseline":
+                costs[backend][variant] = cost
+            entry: Dict[str, object] = {
+                "benchmark": "obs",
+                "backend": backend,
+                "matrix": label,
+                "config": "poly16",
+                "dtype": "double",
+                "variant": variant,
+                "clients": clients,
+                "requests": total,
+                "tolerance": tol,
+                "max_block": session_kwargs["max_block"],
+                "wall_seconds": wall,
+                "rhs_per_second": rps,
+                "throughput_cost_vs_baseline": max(0.0, cost),
+                "latency_p50_ms": stats.latency.p50_ms,
+                "latency_p95_ms": stats.latency.p95_ms,
+            }
+            if variant == "traced":
+                tracer = best["traced"][2].tracer
+                entry["finished_spans"] = len(tracer.finished_spans())
+                entry["dropped_spans"] = tracer.dropped_spans
+            entries.append(entry)
+            print(
+                f"[obs] {backend}/{variant}: {total} requests in "
+                f"{wall:.2f} s -> {rps:.1f} RHS/s"
+                + (
+                    f" ({100 * cost:+.1f}% vs baseline)"
+                    if variant != "baseline"
+                    else ""
+                ),
+                flush=True,
+            )
+
+        if backend == OBS_GATE["backend"]:
+            # Export the reference backend's traced run for Perfetto.
+            tracer = best["traced"][2].tracer
+            payload = export_chrome_trace(trace_path, tracer=tracer)
+            print(
+                f"[obs] wrote {trace_path} "
+                f"({len(payload['traceEvents'])} trace events)"
+            )
+
+    summary: Dict[str, object] = {
+        "grid": grid,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "tolerance": tol,
+        "gate": dict(OBS_GATE),
+        "throughput_cost_vs_baseline": costs,
+        "chrome_trace": trace_path.name,
+    }
+    path = write_bench_json("obs", entries, summary=summary, out=out)
+    print(f"[obs] wrote {path}")
+
+    gate_costs = costs.get(OBS_GATE["backend"], {})
+    failures = []
+    if gate_costs.get("untraced", 1.0) > OBS_GATE["max_untraced_cost"]:
+        failures.append(
+            f"metrics-only serving cost {100 * gate_costs.get('untraced', 1.0):.1f}% "
+            f"> {100 * OBS_GATE['max_untraced_cost']:.0f}% RHS/s"
+        )
+    if gate_costs.get("traced", 1.0) > OBS_GATE["max_traced_cost"]:
+        failures.append(
+            f"traced serving cost {100 * gate_costs.get('traced', 1.0):.1f}% "
+            f"> {100 * OBS_GATE['max_traced_cost']:.0f}% RHS/s"
+        )
+    if failures:
+        for failure in failures:
+            print(f"[obs] FAIL gate ({OBS_GATE['backend']}): {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"[obs] gate holds on {OBS_GATE['backend']}: tracing off "
+        f"{100 * gate_costs.get('untraced', 0.0):+.1f}%, tracing on "
+        f"{100 * gate_costs.get('traced', 0.0):+.1f}% RHS/s vs baseline"
+    )
+    return path
+
+
 #: The solver-farm acceptance gate, checked on the reference backend:
 #: with ``operators`` tenants sharing ``max_sessions`` warm-session slots
 #: under a skewed traffic mix (one hot tenant submitting ~half the fleet's
@@ -1194,6 +1449,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fleet-RHS/s + noisy-neighbour + eviction gate (BENCH_farm.json)",
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run the observability overhead benchmark (tracing off/on vs "
+        "no-obs baseline, <2%%/<10%% RHS/s gates) and emit BENCH_obs.json "
+        "plus the Chrome trace artifact TRACE_obs.json",
+    )
+    parser.add_argument(
         "--grid", type=int, default=64, help="Laplace3D grid for --backends"
     )
     parser.add_argument(
@@ -1216,11 +1478,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.solve_block,
         args.serve,
         args.farm,
+        args.obs,
     ]
     if not any(modes):
         parser.error(
             "choose at least one of --smoke / --backends / --solve / "
-            "--solve-block / --serve / --farm"
+            "--solve-block / --serve / --farm / --obs"
         )
     if args.out is not None and sum(modes) > 1:
         parser.error("--out is ambiguous with more than one mode")
@@ -1236,6 +1499,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_serve(out=args.out, clients=args.clients)
     if args.farm:
         run_farm(out=args.out)
+    if args.obs:
+        run_obs(out=args.out, clients=args.clients)
     return 0
 
 

@@ -38,9 +38,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import config, precision, perfmodel, backends, sparse, linalg, matrices, ortho
-from . import preconditioners, solvers, analysis, experiments, serve, testing
+from . import preconditioners, solvers, analysis, experiments, obs, serve, testing
 from .backends import KernelBackend, available_backends, get_backend, register_backend
-from .config import ReproConfig, get_config, set_config
+from .config import ObsConfig, ReproConfig, get_config, set_config
 from .precision import HALF, SINGLE, DOUBLE, Precision, as_precision
 from .sparse import CsrMatrix
 from .linalg import MultiVector, use_context, use_device, use_backend
@@ -84,10 +84,12 @@ __all__ = [
     "solvers",
     "analysis",
     "experiments",
+    "obs",
     "serve",
     "testing",
     # configuration / precision
     "ReproConfig",
+    "ObsConfig",
     "get_config",
     "set_config",
     # backends
@@ -150,7 +152,10 @@ def session(matrix: CsrMatrix, **kwargs) -> "serve.OperatorSession":
         with repro.session(A, preconditioner=M, restart=15) as s:
             x = s.submit(b).result().x
 
-    For many operators behind one service, see :func:`farm`.
+    Pass ``obs=`` (a :class:`repro.obs.Observability` or a bare
+    :class:`repro.obs.Tracer`) to trace requests and publish metrics; by
+    default the session follows ``ReproConfig.obs``.  For many operators
+    behind one service, see :func:`farm`.
     """
     return serve.OperatorSession(matrix, **kwargs)
 
@@ -168,7 +173,8 @@ def farm(**kwargs) -> "serve.SolverFarm":
             x = f.submit("poisson", b).result().x
 
     Knobs default from ``ReproConfig.serve``
-    (:class:`repro.config.ServeConfig`).
+    (:class:`repro.config.ServeConfig`); ``obs=`` works as in
+    :func:`session` (see :mod:`repro.obs`).
     """
     return serve.SolverFarm(**kwargs)
 

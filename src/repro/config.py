@@ -24,6 +24,7 @@ import numpy as np
 __all__ = [
     "ReproConfig",
     "ServeConfig",
+    "ObsConfig",
     "get_config",
     "set_config",
     "default_config",
@@ -100,6 +101,31 @@ class ServeConfig:
     breaker_cooldown_ms: float = 250.0
 
 
+@dataclass(frozen=True)
+class ObsConfig:
+    """Defaults of the observability layer (:mod:`repro.obs`).
+
+    tracing:
+        Enable span-based request tracing.  Off by default: when off the
+        serve hot paths carry a single ``is None`` check and allocate
+        nothing.  When on, sessions and farms created without an
+        explicit ``obs=`` share the lazily-created process-default
+        tracer (:func:`repro.obs.default_tracer`).
+    trace_capacity:
+        Bound on the finished-span buffer of a config-created tracer;
+        the oldest spans are dropped (and counted) beyond it.
+    metrics:
+        Publish session/farm statistics into the process metrics
+        registry (:func:`repro.obs.default_registry`) for Prometheus
+        exposition.  Pull-based — state is sampled at scrape time, so
+        leaving this on costs nothing per request.
+    """
+
+    tracing: bool = False
+    trace_capacity: int = 65536
+    metrics: bool = True
+
+
 #: Deprecated flat ``ReproConfig`` field -> canonical ``ServeConfig`` field.
 _DEPRECATED_SERVE_ALIASES = {
     "serve_max_block": "max_block",
@@ -152,6 +178,9 @@ class ReproConfig:
         ``serve_policy`` still work — as constructor keywords, through
         :func:`set_config`, and as read-only attributes — but emit
         :class:`DeprecationWarning`.
+    obs:
+        :class:`ObsConfig` bundle of the observability defaults (request
+        tracing, metrics publication — see :mod:`repro.obs`).
     """
 
     rtol: float = 1e-10
@@ -162,6 +191,7 @@ class ReproConfig:
     meter_kernels: bool = True
     backend: str = field(default_factory=_default_backend)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __init__(
         self,
@@ -173,6 +203,7 @@ class ReproConfig:
         meter_kernels: bool = True,
         backend: Optional[str] = None,
         serve: Optional[ServeConfig] = None,
+        obs: Optional[ObsConfig] = None,
         **legacy,
     ) -> None:
         # Hand-written so the deprecated flat serve fields keep working as
@@ -199,6 +230,7 @@ class ReproConfig:
             self, "backend", backend if backend is not None else _default_backend()
         )
         object.__setattr__(self, "serve", serve)
+        object.__setattr__(self, "obs", obs if obs is not None else ObsConfig())
 
     # -- deprecated flat serve fields (read-only aliases) ----------------- #
     @property

@@ -1,0 +1,154 @@
+"""repro.obs — observability for the whole stack.
+
+Three cooperating pieces, all off the hot path by default:
+
+* **Tracing** (:mod:`repro.obs.trace`): span-based request traces
+  through the serve layer (``submit → queued → dispatch → solve →
+  demux``) plus solver convergence probes, exportable as Chrome
+  trace-event JSON (:func:`export_chrome_trace`) for
+  ``chrome://tracing`` / Perfetto.  Off by default; enable per session
+  (``obs=``), process-wide (:func:`enable_tracing`) or via config
+  (``ReproConfig(obs=ObsConfig(tracing=True))``).
+* **Metrics** (:mod:`repro.obs.metrics`): a counter/gauge/histogram
+  registry with Prometheus text exposition
+  (:func:`prometheus_text`) and an optional stdlib HTTP exporter
+  (:func:`start_metrics_server`).  Sessions, farms and kernel timers
+  publish through pull-based collectors sampled at scrape time — the
+  serve hot paths pay nothing.
+* **Structured logging** (:mod:`repro.obs.log`): ``event key=value``
+  records under the ``"repro"`` logger namespace for breaker trips,
+  evictions and width-1 retries.
+
+Quickstart::
+
+    import repro
+    from repro.obs import Observability, Tracer, export_chrome_trace
+
+    obs = Observability(tracer=Tracer())      # tracing on, metrics on
+    session = repro.session(matrix, obs=obs)
+    session.submit(b).result()
+    export_chrome_trace("trace.json", tracer=obs.tracer)
+    print(repro.obs.prometheus_text())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ObsConfig, get_config
+from .log import LOGGER_NAME, get_logger, log_event
+from .metrics import (
+    METRIC_NAME_RE,
+    METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsHTTPServer,
+    MetricsRegistry,
+    default_registry,
+    prometheus_text,
+    start_metrics_server,
+    watch_farm,
+    watch_session,
+    watch_timer,
+)
+from .probe import PROBE_KINDS, ProbeEvent, span_probe
+from .trace import (
+    RequestTrace,
+    Span,
+    Tracer,
+    default_tracer,
+    disable_tracing,
+    enable_tracing,
+    export_chrome_trace,
+)
+
+__all__ = [
+    # bundle + config
+    "Observability",
+    "resolve_observability",
+    "ObsConfig",
+    # tracing
+    "Tracer",
+    "Span",
+    "RequestTrace",
+    "enable_tracing",
+    "disable_tracing",
+    "default_tracer",
+    "export_chrome_trace",
+    # solver probes
+    "ProbeEvent",
+    "PROBE_KINDS",
+    "span_probe",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "default_registry",
+    "prometheus_text",
+    "start_metrics_server",
+    "MetricsHTTPServer",
+    "watch_session",
+    "watch_farm",
+    "watch_timer",
+    "METRIC_NAMES",
+    "METRIC_NAME_RE",
+    # logging
+    "LOGGER_NAME",
+    "get_logger",
+    "log_event",
+]
+
+_UNSET = object()
+
+
+class Observability:
+    """The tracer + metrics-registry pair a session or farm runs with.
+
+    Omitted pieces resolve from ``get_config().obs`` at construction
+    time: ``tracer`` from the process-default tracer (``None`` unless
+    tracing is on), ``registry`` from the process registry (unless
+    ``ObsConfig.metrics`` is off).  Pass ``tracer=None`` /
+    ``registry=None`` explicitly to force a piece off regardless of
+    config — :meth:`disabled` does both, which is what the overhead
+    benchmark uses as its baseline.
+    """
+
+    __slots__ = ("tracer", "registry")
+
+    def __init__(self, *, tracer=_UNSET, registry=_UNSET) -> None:
+        if tracer is _UNSET:
+            tracer = default_tracer()
+        if registry is _UNSET:
+            registry = default_registry() if get_config().obs.metrics else None
+        self.tracer: Optional[Tracer] = tracer
+        self.registry: Optional[MetricsRegistry] = registry
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Everything off — no tracer, no metrics, regardless of config."""
+        return cls(tracer=None, registry=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Observability(tracing={'on' if self.tracer else 'off'}, "
+            f"metrics={'on' if self.registry else 'off'})"
+        )
+
+
+def resolve_observability(obs) -> Observability:
+    """Normalise the ``obs=`` kwarg of sessions and farms.
+
+    ``None`` → config-driven defaults; an :class:`Observability` passes
+    through; a bare :class:`Tracer` is shorthand for "trace with this".
+    """
+    if obs is None:
+        return Observability()
+    if isinstance(obs, Observability):
+        return obs
+    if isinstance(obs, Tracer):
+        return Observability(tracer=obs)
+    raise TypeError(
+        f"obs= expects an Observability, a Tracer or None, got {type(obs).__name__}"
+    )

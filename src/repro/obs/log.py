@@ -1,0 +1,65 @@
+"""Structured logging for the serve stack (stdlib ``logging`` only).
+
+The library logs under the ``"repro"`` logger namespace and installs a
+``NullHandler`` there, so it is silent until the application configures
+logging — the standard library-logging contract.  To see the events::
+
+    import logging
+    logging.basicConfig(level=logging.INFO)
+    logging.getLogger("repro").setLevel(logging.INFO)
+
+Events are single-line ``event key=value`` records (:func:`log_event`)
+carrying the request/batch/tenant context fields of the site that
+emitted them — breaker trips, session evictions, width-1 retries, farm
+shutdown abandons — so a grep for ``breaker_open`` or ``tenant=alpha``
+reconstructs an incident without a debugger.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["LOGGER_NAME", "get_logger", "log_event"]
+
+#: Root of the library's logger namespace.
+LOGGER_NAME = "repro"
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """``repro`` logger, or the ``repro.<name>`` child when named."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    exc_info: object = None,
+    **fields: object,
+) -> None:
+    """Emit one structured ``event key=value ...`` line.
+
+    Fields keep their call-site order (significant context first).  The
+    early ``isEnabledFor`` exit keeps disabled logging near-free on the
+    serve paths.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    parts = [event]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    logger.log(level, " ".join(parts), exc_info=exc_info)

@@ -1,0 +1,422 @@
+"""Span-based request tracing for the serve stack.
+
+A :class:`Tracer` hands out :class:`Span` objects — named intervals with
+microsecond timestamps, a parent link, free-form attributes and point
+events — and keeps the finished ones in a bounded in-memory buffer.  The
+design goals, in order:
+
+1. **Cheap when off.**  Tracing is opt-in (``ObsConfig.tracing`` on
+   :class:`repro.config.ReproConfig`, or an explicit
+   :func:`enable_tracing` call).  When it is off, the serve hot paths
+   carry a single ``tracer is None`` check and allocate nothing.
+2. **Thread-safe.**  Spans are started and finished from client threads,
+   dispatcher threads and farm workers concurrently; all mutation of the
+   shared buffer happens under one lock, and ``Span.finish`` is
+   idempotent so racing closers are harmless.
+3. **Viewable.**  :func:`export_chrome_trace` emits the Chrome
+   trace-event JSON format, so a chaos-run timeline opens directly in
+   ``chrome://tracing`` or https://ui.perfetto.dev.
+
+:class:`RequestTrace` is the small state machine the serve layer drives:
+one root ``request`` span per submitted right-hand side with
+non-overlapping stage children (``submit`` → ``queued`` → ``dispatch``),
+closed exactly once with a terminal outcome however the request ends
+(served, deadline, cancel, abandon, error).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..config import get_config
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "RequestTrace",
+    "enable_tracing",
+    "disable_tracing",
+    "default_tracer",
+    "export_chrome_trace",
+]
+
+#: Default bound on the finished-span buffer (oldest spans are dropped).
+DEFAULT_TRACE_CAPACITY = 65536
+
+
+class Span:
+    """One named interval in a trace.
+
+    Timestamps are microseconds relative to the owning tracer's origin
+    (``time.perf_counter`` based — monotonic, not wall-clock).  A span is
+    mutated only by the thread(s) holding a reference to it; ``finish``
+    is idempotent and may race safely.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "thread_name",
+        "start_us",
+        "end_us",
+        "attrs",
+        "events",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, object],
+    ) -> None:
+        thread = threading.current_thread()
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.start_us = tracer._now_us()
+        self.end_us: Optional[float] = None
+        self.attrs = attrs
+        self.events: List[Tuple[str, float, Dict[str, object]]] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        end = self.end_us if self.end_us is not None else self._tracer._now_us()
+        return max(0.0, end - self.start_us)
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes to the span (last write wins)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event inside the span.
+
+        Events are appended without locking: each span's events come from
+        the single thread currently driving that span (the solver probe
+        hook), so the list is effectively thread-confined until finish.
+        """
+        self.events.append((name, self._tracer._now_us(), attrs))
+
+    def finish(self, **attrs: object) -> None:
+        """Close the span; subsequent calls are no-ops."""
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and "error" not in self.attrs:
+            self.attrs["error"] = repr(exc)
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "open"
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {state})"
+        )
+
+
+class Tracer:
+    """Thread-safe span factory with a bounded finished-span buffer."""
+
+    def __init__(self, *, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self._origin = time.perf_counter()
+        self._next_id = 1
+        self._capacity = int(capacity)
+        self._spans: List[Span] = []
+        self._open = 0
+        self._dropped = 0
+
+    # -- clock --------------------------------------------------------- #
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    # -- span lifecycle ------------------------------------------------ #
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span.  ``parent=None`` starts a new trace (root span)."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._open += 1
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = span_id, None
+        return Span(self, name, trace_id, span_id, parent_id, attrs)
+
+    def _finish(self, span: Span) -> None:
+        end = self._now_us()
+        with self._lock:
+            if span.end_us is not None:
+                return  # idempotent: first closer wins
+            span.end_us = end
+            self._open -= 1
+            if len(self._spans) >= self._capacity:
+                overflow = len(self._spans) - self._capacity + 1
+                del self._spans[:overflow]
+                self._dropped += overflow
+            self._spans.append(span)
+
+    # -- inspection ---------------------------------------------------- #
+    def finished_spans(self) -> List[Span]:
+        """Snapshot of the finished-span buffer (oldest first)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans started but not yet finished (leak detector)."""
+        with self._lock:
+            return self._open
+
+    @property
+    def dropped_spans(self) -> int:
+        """Finished spans evicted because the buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def spans_by_trace(self) -> Dict[int, List[Span]]:
+        """Finished spans grouped by ``trace_id`` (insertion order kept)."""
+        groups: Dict[int, List[Span]] = {}
+        for span in self.finished_spans():
+            groups.setdefault(span.trace_id, []).append(span)
+        return groups
+
+
+class RequestTrace:
+    """Per-request span state machine driven by the serve layer.
+
+    One root ``request`` span plus a chain of non-overlapping stage
+    children: ``submit`` (created open), then ``queued`` after admission,
+    then ``dispatch`` once a worker pops the request into a batch.
+    :meth:`finish` closes whatever stage is open plus the root, exactly
+    once, stamping the terminal ``outcome`` — so every request yields one
+    complete, properly-nested span tree no matter which path ends it.
+    """
+
+    __slots__ = ("tracer", "root", "_stage", "_done")
+
+    def __init__(self, tracer: Tracer, **attrs: object) -> None:
+        self.tracer = tracer
+        self.root = tracer.start_span("request", **attrs)
+        self._stage: Optional[Span] = tracer.start_span("submit", parent=self.root)
+        self._done = False
+
+    def _advance(self, next_stage: Optional[str], **attrs: object) -> None:
+        stage = self._stage
+        if stage is not None:
+            stage.finish(**attrs)
+        self._stage = (
+            self.tracer.start_span(next_stage, parent=self.root)
+            if next_stage is not None
+            else None
+        )
+
+    def submitted(self) -> None:
+        """Admission done: close ``submit``, open ``queued``."""
+        if not self._done:
+            self._advance("queued")
+
+    def dequeued(self, **attrs: object) -> None:
+        """Popped into a batch: close ``queued``, open ``dispatch``.
+
+        ``attrs`` describe the dispatch (batch span id, block width) and
+        are attached to the new ``dispatch`` span.
+        """
+        if not self._done:
+            self._advance("dispatch")
+            if attrs and self._stage is not None:
+                self._stage.set(**attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.root.event(name, **attrs)
+
+    def finish(self, outcome: str, **attrs: object) -> None:
+        """Terminal transition; idempotent (first outcome wins)."""
+        if self._done:
+            return
+        self._done = True
+        self._advance(None)
+        self.root.finish(outcome=outcome, **attrs)
+
+    @classmethod
+    def rejected(cls, tracer: Tracer, outcome: str, **attrs: object) -> "RequestTrace":
+        """One-shot trace for a synchronous admission rejection.
+
+        Telemetry counts sync rejections as submitted *and* failed, so
+        the span ledger mirrors that with an immediately-closed tree.
+        """
+        trace = cls(tracer, **attrs)
+        trace.finish(outcome)
+        return trace
+
+
+# ---------------------------------------------------------------------- #
+# process-default tracer                                                 #
+# ---------------------------------------------------------------------- #
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_TRACER: Optional[Tracer] = None
+_EXPLICIT = False
+
+
+def enable_tracing(*, capacity: Optional[int] = None) -> Tracer:
+    """Install (and return) a fresh process-default tracer.
+
+    Overrides the config-driven default until :func:`disable_tracing`.
+    """
+    global _DEFAULT_TRACER, _EXPLICIT
+    tracer = Tracer(capacity=capacity or get_config().obs.trace_capacity)
+    with _DEFAULT_LOCK:
+        _DEFAULT_TRACER = tracer
+        _EXPLICIT = True
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Drop the process-default tracer (config ``tracing`` is ignored too)."""
+    global _DEFAULT_TRACER, _EXPLICIT
+    with _DEFAULT_LOCK:
+        _DEFAULT_TRACER = None
+        _EXPLICIT = True
+
+
+def default_tracer() -> Optional[Tracer]:
+    """The process-default tracer, or ``None`` when tracing is off.
+
+    Resolution order: an explicit :func:`enable_tracing` /
+    :func:`disable_tracing` call wins; otherwise ``get_config().obs``
+    decides, creating the shared tracer lazily on first use.
+    """
+    global _DEFAULT_TRACER
+    with _DEFAULT_LOCK:
+        if _EXPLICIT:
+            return _DEFAULT_TRACER
+        cfg = get_config().obs
+        if not cfg.tracing:
+            return None
+        if _DEFAULT_TRACER is None:
+            _DEFAULT_TRACER = Tracer(capacity=cfg.trace_capacity)
+        return _DEFAULT_TRACER
+
+
+def _reset_default_tracer() -> None:
+    """Test hook: forget any explicit/lazy default tracer."""
+    global _DEFAULT_TRACER, _EXPLICIT
+    with _DEFAULT_LOCK:
+        _DEFAULT_TRACER = None
+        _EXPLICIT = False
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event export                                              #
+# ---------------------------------------------------------------------- #
+def export_chrome_trace(
+    path=None,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, object]:
+    """Render finished spans as Chrome trace-event JSON.
+
+    Returns the payload dict; when ``path`` is given the JSON is also
+    written there.  Open the file in ``chrome://tracing`` or
+    https://ui.perfetto.dev.  Spans become complete (``"ph": "X"``)
+    events on their originating thread's track; span events become
+    thread-scoped instant (``"ph": "i"``) events.
+    """
+    tracer = tracer if tracer is not None else default_tracer()
+    if tracer is None:
+        raise RuntimeError(
+            "tracing is not enabled: pass tracer=, call "
+            "repro.obs.enable_tracing(), or set ObsConfig(tracing=True)"
+        )
+    events: List[Dict[str, object]] = []
+    thread_names: Dict[int, str] = {}
+    for span in tracer.finished_spans():
+        thread_names.setdefault(span.thread_id, span.thread_name)
+        args: Dict[str, object] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "pid": 1,
+                "tid": span.thread_id,
+                "ts": round(span.start_us, 3),
+                "dur": round(max(0.0, (span.end_us or span.start_us) - span.start_us), 3),
+                "args": args,
+            }
+        )
+        for name, ts, attrs in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "ts": round(ts, 3),
+                    "args": dict(attrs, span_id=span.span_id),
+                }
+            )
+    for tid, name in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    payload: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "dropped_spans": tracer.dropped_spans},
+    }
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+    return payload

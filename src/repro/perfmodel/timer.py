@@ -230,7 +230,10 @@ class KernelTimer:
         lines = [f"KernelTimer({self.name!r}): total {self.total_model_seconds():.6f} modelled s"]
         by_label = self.model_seconds_by_label()
         calls = self.calls_by_label()
-        for label in sorted(by_label, key=by_label.get, reverse=True):
+        # Stable order: descending modelled time, label name breaking ties
+        # (equal-cost labels otherwise land in dict-insertion order, which
+        # varies with the kernel call sequence).
+        for label in sorted(by_label, key=lambda lab: (-by_label[lab], lab)):
             lines.append(
                 f"  {label:<18s} {by_label[label]:12.6f} s  ({calls[label]} calls)"
             )

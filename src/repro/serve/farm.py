@@ -58,6 +58,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -67,8 +68,12 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from ..config import get_config
+from ..obs import resolve_observability
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import watch_farm
+from ..obs.trace import RequestTrace
 from ..sparse.csr import CsrMatrix
-from .breaker import CircuitBreaker
+from .breaker import BREAKER_STATES, CircuitBreaker
 from .errors import CircuitOpenError, RejectedError
 from .registry import SessionRegistry
 from .scheduler import (
@@ -88,6 +93,9 @@ __all__ = ["RejectedError", "CircuitOpenError", "SolverFarm", "FAIRNESS_MODES"]
 
 #: Recognized values of ``ServeConfig.fairness``.
 FAIRNESS_MODES = ("weighted", "fifo")
+
+#: Structured-log channel of the farm (see :mod:`repro.obs.log`).
+_LOGGER = get_logger("serve.farm")
 
 
 class _Tenant:
@@ -155,6 +163,7 @@ class SolverFarm:
         breaker_threshold: Optional[int] = None,
         breaker_cooldown_ms: Optional[float] = None,
         name: str = "farm",
+        obs=None,
     ) -> None:
         cfg = get_config().serve
         self.name = name
@@ -183,6 +192,15 @@ class SolverFarm:
             else float(breaker_cooldown_ms)
         )
         self.telemetry = FarmTelemetry()
+        self.obs = resolve_observability(obs)
+        #: The farm's tracer (None = tracing off); farm-queued requests
+        #: get their span trees from here, not from the sessions.
+        self.tracer = self.obs.tracer
+
+        def _on_evict(key: str) -> None:
+            self.telemetry.record_eviction(key)
+            log_event(_LOGGER, "session_evicted", farm=self.name, tenant=key)
+
         self.registry = SessionRegistry(
             max_sessions=cfg.max_sessions if max_sessions is None else int(max_sessions),
             max_bytes=(
@@ -191,13 +209,15 @@ class SolverFarm:
                 else max_session_bytes
             ),
             on_create=self.telemetry.record_creation,
-            on_evict=self.telemetry.record_eviction,
+            on_evict=_on_evict,
         )
         self._tenants: Dict[str, _Tenant] = {}
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
         self._threads: List[threading.Thread] = []
+        if self.obs.registry is not None:
+            watch_farm(self, registry=self.obs.registry)
 
     # ------------------------------------------------------------------ #
     # registration                                                       #
@@ -310,8 +330,20 @@ class SolverFarm:
             failed: "Future[ServeResult]" = Future()
             failed.set_exception(exc)
             sink.record_rejected()
+            if self.tracer is not None:
+                RequestTrace.rejected(
+                    self.tracer,
+                    "rejected",
+                    farm=self.name,
+                    tenant=key,
+                    error=repr(exc),
+                )
             return failed
         request = PendingRequest(column, deadline_ms=deadline_ms)
+        if self.tracer is not None:
+            request.trace = RequestTrace(
+                self.tracer, farm=self.name, tenant=key, deadline_ms=deadline_ms
+            )
         if request.expired:
             # Dead on arrival (non-positive budget): fail fast through
             # the future without ever touching the queue.
@@ -320,8 +352,18 @@ class SolverFarm:
             return request.future
         retry_hint: Optional[float] = None
         breaker_hint: Optional[float] = None
+        if request.trace is not None:
+            # Admission decided before the queue append: once appended a
+            # worker may advance the trace concurrently.  A rejection below
+            # finishes the already-advanced trace, which is still a single
+            # complete tree.
+            request.trace.submitted()
         with self._wakeup:
             if self._closed:
+                if request.trace is not None:
+                    # Not telemetry-counted (the submit raises), so the
+                    # outcome is distinct from the counted rejections.
+                    request.trace.finish("closed")
                 raise RuntimeError("farm is closed; no new requests accepted")
             if len(tenant.queue) >= self.queue_depth:
                 retry_hint = self._retry_after_ms_locked(tenant)
@@ -334,6 +376,8 @@ class SolverFarm:
                     self._wakeup.notify_all()
         if retry_hint is not None:
             self.telemetry.record_rejected(key)
+            if request.trace is not None:
+                request.trace.finish("rejected", reason="queue_full")
             raise RejectedError(
                 f"tenant {key!r} queue is full ({self.queue_depth} pending); "
                 f"retry in ~{retry_hint:.0f} ms",
@@ -341,6 +385,8 @@ class SolverFarm:
             )
         if breaker_hint is not None:
             self.telemetry.record_rejected(key)
+            if request.trace is not None:
+                request.trace.finish("rejected", reason="circuit_open")
             raise CircuitOpenError(
                 f"operator {key!r} is quarantined after consecutive solve "
                 f"failures; retry in ~{breaker_hint:.0f} ms",
@@ -405,6 +451,17 @@ class SolverFarm:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def breaker_states(self) -> Dict[str, int]:
+        """Each tenant's breaker state as a :data:`BREAKER_STATES` index.
+
+        ``0`` = closed (healthy), ``1`` = open (quarantined), ``2`` =
+        half-open (probing).  This is what the metrics collector exports
+        as the ``repro_breaker_state`` gauge.
+        """
+        with self._lock:
+            tenants = list(self._tenants.values())
+        return {t.key: BREAKER_STATES.index(t.breaker.state) for t in tenants}
 
     # ------------------------------------------------------------------ #
     # worker pool                                                        #
@@ -486,12 +543,25 @@ class SolverFarm:
             with self._wakeup:
                 doomed = list(tenant.queue)
                 tenant.queue.clear()
+            log_event(
+                _LOGGER,
+                "session_warmup_failed",
+                level=logging.WARNING,
+                farm=self.name,
+                tenant=tenant.key,
+                doomed=len(doomed),
+                error=repr(exc),
+            )
             for request in doomed:
                 if request.future.set_running_or_notify_cancel():
                     if fail_future(request.future, exc):
                         sink.record_abandoned()
+                    if request.trace is not None:
+                        request.trace.finish("error", error=repr(exc))
                 else:
                     sink.record_cancelled()
+                    if request.trace is not None:
+                        request.trace.finish("cancelled")
             self._feed_breaker(
                 tenant, BatchReport(width=len(doomed), exception=exc)
             )
@@ -499,7 +569,9 @@ class SolverFarm:
         batch = self._collect_batch(tenant, session)
         if not batch:
             return
-        report = run_batch(session, batch, sink)
+        report = run_batch(
+            session, batch, sink, tracer=self.tracer, tenant=tenant.key
+        )
         self._feed_breaker(tenant, report)
         with self._lock:
             tenant.served += len(batch)
@@ -518,6 +590,20 @@ class SolverFarm:
             if tenant.breaker.record_failure():
                 self.registry.evict(tenant.key)
                 self.telemetry.record_breaker_trip(tenant.key)
+                log_event(
+                    _LOGGER,
+                    "breaker_open",
+                    level=logging.WARNING,
+                    farm=self.name,
+                    tenant=tenant.key,
+                    threshold=self.breaker_threshold,
+                    cooldown_ms=self.breaker_cooldown_ms,
+                    cause=(
+                        repr(report.exception)
+                        if report.exception is not None
+                        else "nonfinite" if report.nonfinite else "breakdown"
+                    ),
+                )
         elif report.healthy:
             tenant.breaker.record_success()
 
@@ -573,6 +659,8 @@ class SolverFarm:
                 batch.append(request)
             else:
                 sink.record_cancelled()
+                if request.trace is not None:
+                    request.trace.finish("cancelled")
         return batch
 
     # ------------------------------------------------------------------ #
@@ -604,8 +692,12 @@ class SolverFarm:
                     RuntimeError("farm closed before the request was served"),
                 ):
                     sink.record_abandoned()
+                if request.trace is not None:
+                    request.trace.finish("abandoned")
             else:
                 sink.record_cancelled()
+                if request.trace is not None:
+                    request.trace.finish("cancelled")
         for thread in threads:
             if threading.current_thread() is not thread:
                 thread.join(timeout=timeout)

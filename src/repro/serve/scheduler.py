@@ -44,6 +44,9 @@ from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.log import get_logger, log_event
+from ..obs.probe import span_probe
+from ..obs.trace import RequestTrace
 from ..solvers.result import ConvergenceHistory, SolveResult, SolverStatus
 from ..solvers.status import SolveControl
 from .errors import DeadlineExceededError
@@ -147,11 +150,12 @@ class ServeFuture(Future):
 
 class PendingRequest:
     """One queued right-hand side: the validated column, its future, its
-    cooperative control token (deadline + cancellation), and the enqueue
-    timestamp (shared by :class:`SolveScheduler` queues and the farm's
+    cooperative control token (deadline + cancellation), the enqueue
+    timestamp, and — when tracing is on — the request's span state
+    machine (shared by :class:`SolveScheduler` queues and the farm's
     per-tenant queues)."""
 
-    __slots__ = ("b", "future", "control", "deadline_ms", "enqueued_at")
+    __slots__ = ("b", "future", "control", "deadline_ms", "enqueued_at", "trace")
 
     def __init__(
         self, b: np.ndarray, *, deadline_ms: Optional[float] = None
@@ -164,6 +168,8 @@ class PendingRequest:
             self.control = SolveControl.with_timeout(self.deadline_ms)
         self.future: ServeFuture = ServeFuture(self.control)
         self.enqueued_at = time.perf_counter()
+        #: :class:`repro.obs.RequestTrace` when the owner traces, else None.
+        self.trace = None
 
     @property
     def expired(self) -> bool:
@@ -231,9 +237,13 @@ def expire_requests(expired: List[PendingRequest], telemetry) -> None:
                 ),
             )
             telemetry.record_timeout()
+            if request.trace is not None:
+                request.trace.finish("deadline_exceeded")
         else:
             # Cancelled while queued: the sweep doubles as the drop point.
             telemetry.record_cancelled()
+            if request.trace is not None:
+                request.trace.finish("cancelled")
 
 
 def deadline_slack_seconds(queue: Deque[PendingRequest]) -> Optional[float]:
@@ -325,14 +335,26 @@ class SolveScheduler:
         solve cooperatively within one restart cycle (status
         ``CANCELLED``).
         """
+        tracer = getattr(self._session, "tracer", None)
         try:
             column = self._validated_column(b)
         except ValueError as exc:
             failed: Future = Future()
             failed.set_exception(exc)
             self.telemetry.record_rejected()
+            if tracer is not None:
+                # Telemetry counts sync rejections as submitted+failed;
+                # mirror that with an immediately-closed span tree so the
+                # trace ledger reconciles against the counters.
+                RequestTrace.rejected(
+                    tracer, "rejected", session=self._session.name, error=repr(exc)
+                )
             return failed
         request = PendingRequest(column, deadline_ms=deadline_ms)
+        if tracer is not None:
+            request.trace = RequestTrace(
+                tracer, session=self._session.name, deadline_ms=deadline_ms
+            )
         if request.expired:
             # Dead on arrival (non-positive budget): fail fast without
             # ever touching the queue — still through the future, so the
@@ -340,8 +362,17 @@ class SolveScheduler:
             self.telemetry.record_submitted()
             expire_requests([request], self.telemetry)
             return request.future
+        if request.trace is not None:
+            # Admission decided before the queue append: once appended the
+            # dispatcher may advance the trace concurrently.
+            request.trace.submitted()
         with self._wakeup:
             if self._closed:
+                if request.trace is not None:
+                    # Not counted by telemetry (the submit raises instead
+                    # of failing a future), so the outcome is distinct
+                    # from the counted rejections.
+                    request.trace.finish("closed")
                 raise RuntimeError("scheduler is closed; no new requests accepted")
             self._queue.append(request)
             if self._dispatcher is None:
@@ -402,8 +433,12 @@ class SolveScheduler:
                     RuntimeError("scheduler closed before the request was served"),
                 ):
                     self.telemetry.record_abandoned()
+                if request.trace is not None:
+                    request.trace.finish("abandoned")
             else:
                 self.telemetry.record_cancelled()
+                if request.trace is not None:
+                    request.trace.finish("cancelled")
         if dispatcher is not None and threading.current_thread() is not dispatcher:
             dispatcher.join(timeout=timeout)
 
@@ -478,10 +513,17 @@ class SolveScheduler:
                 batch.append(request)
             else:
                 self.telemetry.record_cancelled()
+                if request.trace is not None:
+                    request.trace.finish("cancelled")
         return batch
 
     def _dispatch(self, batch: List[PendingRequest]) -> None:
-        run_batch(self._session, batch, self.telemetry)
+        run_batch(
+            self._session,
+            batch,
+            self.telemetry,
+            tracer=getattr(self._session, "tracer", None),
+        )
 
 
 @dataclass
@@ -521,10 +563,17 @@ class BatchReport:
         )
 
 
+#: Structured-log channel of the dispatch core (see :mod:`repro.obs.log`).
+_LOGGER = get_logger("serve")
+
+
 def run_batch(
     session: "OperatorSession",
     batch: List[PendingRequest],
     telemetry: ServeTelemetry,
+    *,
+    tracer=None,
+    tenant: Optional[str] = None,
 ) -> BatchReport:
     """Run one assembled batch and resolve its futures (the dispatch core).
 
@@ -538,21 +587,52 @@ def run_batch(
     exceptions are forwarded to every future of the batch; this function
     itself never raises.  Returns a :class:`BatchReport` the farm feeds
     into the tenant's circuit breaker.
+
+    When ``tracer`` (a :class:`repro.obs.Tracer`) is given, the dispatch
+    is traced: one ``batch`` span with ``batch_assembly`` / ``solve`` /
+    ``demux`` children, solver probe events on the solve span, and every
+    request's trace advanced to ``dispatch`` and finished with its
+    terminal outcome.  ``tenant`` labels the farm's batches.
     """
     dispatched_at = time.perf_counter()
     queue_waits = [dispatched_at - r.enqueued_at for r in batch]
     width = len(batch)
+
+    batch_span = None
+    probe = None
+    if tracer is not None:
+        attrs: Dict[str, object] = {"session": session.name, "width": width}
+        if tenant is not None:
+            attrs["tenant"] = tenant
+        batch_span = tracer.start_span("batch", **attrs)
+    for request in batch:
+        if request.trace is not None:
+            request.trace.dequeued(
+                batch=None if batch_span is None else batch_span.span_id,
+                width=width,
+            )
+
+    assembly_span = (
+        None if batch_span is None
+        else tracer.start_span("batch_assembly", parent=batch_span)
+    )
     B = np.empty((session.n_rows, width), dtype=np.float64, order="F")
     for c, request in enumerate(batch):
         B[:, c] = request.b
     controls = [request.control for request in batch]
+    if assembly_span is not None:
+        assembly_span.finish()
 
     failed = 0
     retried = 0
     report = BatchReport(width=width)
+    solve_span = None
     try:
+        if batch_span is not None:
+            solve_span = tracer.start_span("solve", parent=batch_span)
+            probe = span_probe(solve_span)
         start = time.perf_counter()
-        multi = session._solve_block(B, controls=controls)
+        multi = session._solve_block(B, controls=controls, probe=probe)
         solve_seconds = time.perf_counter() - start
         columns = multi.split()
         solve_times = [solve_seconds] * width
@@ -575,30 +655,58 @@ def run_batch(
                 # request, so it must not touch the batchmates.  The
                 # retry inherits the request's control token, keeping
                 # the deadline binding across both attempts.
+                log_event(
+                    _LOGGER,
+                    "batch_retry_sequential",
+                    session=session.name,
+                    tenant=tenant if tenant is not None else "",
+                    column=c,
+                    width=width,
+                    status=column.status.name,
+                )
+                retry_span = (
+                    None if batch_span is None
+                    else tracer.start_span("retry", parent=batch_span, column=c)
+                )
                 start = time.perf_counter()
                 try:
                     retry = session._solve_block(
                         np.asfortranarray(B[:, c : c + 1]),
                         controls=[batch[c].control],
+                        probe=None if retry_span is None else span_probe(retry_span),
                     ).split()[0]
                 except Exception as exc:  # noqa: BLE001 - per-column
                     retry_errors[c] = exc
+                    if retry_span is not None:
+                        retry_span.finish(error=repr(exc))
                 else:
                     retry.details["retried_sequential"] = True
                     columns[c] = retry
+                    if retry_span is not None:
+                        retry_span.finish(status=retry.status.name)
                 solve_times[c] += time.perf_counter() - start
                 retried += 1
+        if solve_span is not None:
+            solve_span.finish(block_iterations=multi.block_iterations)
     except Exception as exc:  # noqa: BLE001 - forwarded to the futures
         solve_seconds = time.perf_counter() - dispatched_at
         solve_times = [solve_seconds] * width
         failed = width
         report.exception = exc
+        if solve_span is not None:
+            solve_span.finish(error=repr(exc))
         for request in batch:
             fail_future(request.future, exc)
+            if request.trace is not None:
+                request.trace.finish("error", error=repr(exc))
     else:
         report.statuses = [column.status for column in columns]
         report.nonfinite = any(
             not np.isfinite(column.relative_residual) for column in columns
+        )
+        demux_span = (
+            None if batch_span is None
+            else tracer.start_span("demux", parent=batch_span)
         )
         for c, request in enumerate(batch):
             column = columns[c]
@@ -626,6 +734,18 @@ def run_batch(
                     details=details,
                 ),
             )
+            if request.trace is not None:
+                request.trace.finish(
+                    column.status.name.lower(), iterations=column.iterations
+                )
+        if demux_span is not None:
+            demux_span.finish()
+    if batch_span is not None:
+        batch_span.finish(
+            failed=failed,
+            retried=retried,
+            statuses=[s.name for s in report.statuses],
+        )
     telemetry.record_batch(
         queue_waits,
         solve_times,

@@ -37,6 +37,8 @@ import numpy as np
 
 from ..config import get_config
 from ..linalg.context import ExecutionContext, get_context, use_context
+from ..obs import resolve_observability
+from ..obs.metrics import watch_session
 from ..precision import Precision, as_precision
 from ..preconditioners.base import Preconditioner
 from ..preconditioners.mixed import wrap_for_precision
@@ -142,6 +144,15 @@ class OperatorSession:
         ready :class:`~repro.serve.policy.BatchingPolicy`.
     warmup:
         Run the plan-building warm-up at construction (default True).
+    obs:
+        Observability wiring — an :class:`repro.obs.Observability`
+        bundle, a bare :class:`repro.obs.Tracer`, or ``None`` to resolve
+        from ``ReproConfig.obs`` (tracing off, metrics on by default).
+        When a tracer is present every request gets a span tree
+        (``request`` → ``submit``/``queued``/``dispatch``) and every
+        dispatch a ``batch`` tree with solver probe events; when a
+        metrics registry is present the session's stats are published
+        for Prometheus scraping.
     solver_kwargs:
         Extra keyword arguments forwarded verbatim to the block driver
         (e.g. ``stagnation=...``, ``refine_every=...``).
@@ -169,6 +180,7 @@ class OperatorSession:
         telemetry: Optional[ServeTelemetry] = None,
         name: Optional[str] = None,
         warmup: bool = True,
+        obs=None,
         **solver_kwargs,
     ) -> None:
         if method not in ("gmres", "gmres-ir"):
@@ -186,6 +198,10 @@ class OperatorSession:
         wait = cfg.serve.max_wait_ms if max_wait_ms is None else float(max_wait_ms)
         self.retry_failed = bool(retry_failed)
         self.name = name or f"serve-{matrix.name or 'operator'}"
+        self.obs = resolve_observability(obs)
+        #: The session's tracer (None = tracing off; the scheduler and
+        #: the shared dispatch core read this on every hot-path decision).
+        self.tracer = self.obs.tracer
 
         # Pin the execution context: resolve the (possibly config-lazy)
         # backend of the *current* context into an explicit instance, so
@@ -275,6 +291,8 @@ class OperatorSession:
             policy=self.policy,
             telemetry=telemetry,
         )
+        if self.obs.registry is not None:
+            watch_session(self, registry=self.obs.registry)
 
     # ------------------------------------------------------------------ #
     # shape / state queries                                              #
@@ -411,7 +429,7 @@ class OperatorSession:
         )
 
     def _solve_block(
-        self, B: np.ndarray, *, controls: Optional[List] = None
+        self, B: np.ndarray, *, controls: Optional[List] = None, probe=None
     ) -> MultiSolveResult:
         """Run one dispatch under the pinned context (the scheduler hook).
 
@@ -425,7 +443,10 @@ class OperatorSession:
         :class:`~repro.solvers.SolveControl` per column (deadline /
         cancellation tokens of the requests riding this dispatch); the
         solvers poll them at restart boundaries and deflate stopped
-        columns without disturbing their batchmates.
+        columns without disturbing their batchmates.  ``probe`` is the
+        optional convergence hook forwarded to the driver (see
+        :class:`repro.obs.ProbeEvent`); ``None`` keeps the driver call
+        identical to the untraced path.
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -439,20 +460,26 @@ class OperatorSession:
             workspace = self.workspace_for(width)
             with use_context(self.context):
                 if width == 1:
+                    single_kwargs = self._single_kwargs
+                    if probe is not None:
+                        single_kwargs = dict(single_kwargs, probe=probe)
                     result = self._single_driver(
                         self._matrix,
                         B[:, 0],
                         workspace=workspace,
                         control=controls[0] if controls is not None else None,
-                        **self._single_kwargs,
+                        **single_kwargs,
                     )
                     return self._as_multi(result)
+                block_kwargs = self._block_kwargs
+                if probe is not None:
+                    block_kwargs = dict(block_kwargs, probe=probe)
                 return self._block_driver(
                     self._matrix,
                     B,
                     workspace=workspace,
                     controls=controls,
-                    **self._block_kwargs,
+                    **block_kwargs,
                 )
 
     def submit(

@@ -40,6 +40,7 @@ from ..config import get_config
 from ..linalg import kernels
 from ..linalg.dense import BlockGivensWorkspace
 from ..linalg.multivector import MultiVector
+from ..obs.probe import ProbeEvent
 from ..ortho import BlockOrthogonalizationManager, make_block_ortho_manager
 from ..perfmodel.timer import KernelTimer, use_timer
 from ..precision import Precision, as_precision
@@ -369,6 +370,14 @@ class _ColumnTracker:
         self.active = [self.active[i] for i in keep]
 
 
+def _status_counts(statuses: Sequence[SolverStatus]) -> dict:
+    """Per-status column counts for block terminal probe events."""
+    counts: dict = {}
+    for status in statuses:
+        counts[status.name] = counts.get(status.name, 0) + 1
+    return counts
+
+
 def _resolve_controls(
     controls: Optional[Sequence[Optional[SolveControl]]], p: int
 ) -> Optional[List[Optional[SolveControl]]]:
@@ -404,6 +413,7 @@ def block_gmres(
     workspace: Optional[BlockGmresWorkspace] = None,
     control: Optional[SolveControl] = None,
     controls: Optional[Sequence[Optional[SolveControl]]] = None,
+    probe=None,
 ) -> MultiSolveResult:
     """Solve ``A X = B`` for a block of right-hand sides with Block-GMRES.
 
@@ -451,6 +461,13 @@ def block_gmres(
         the other columns keep iterating.  This is how the serve layer
         cancels one request of an in-flight batch within one restart
         cycle without disturbing its batchmates.
+    probe:
+        Optional convergence probe fed one
+        :class:`~repro.obs.ProbeEvent` per restart boundary — the worst
+        explicit relative residual over the columns active entering the
+        boundary, plus how many columns were deflated at it — and one
+        terminal event with the per-status column counts in
+        ``extra["statuses"]`` (see :mod:`repro.obs.probe`).
 
     Returns
     -------
@@ -556,7 +573,19 @@ def block_gmres(
                     tracker.finalize(i, SolverStatus.LOSS_OF_ACCURACY)
                 elif stagnation_tests is not None and stagnation_tests[col].update(rel):
                     tracker.finalize(i, SolverStatus.STAGNATION)
+            if probe is not None:
+                entering = [tracker.rel[col] for col in tracker.active]
             tracker.compact(extras=(workspace.R,))
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="block-gmres",
+                    kind="restart",
+                    iteration=total_block_iterations,
+                    restarts=restarts,
+                    residual=float(max(entering)),
+                    active=tracker.k,
+                    deflated=len(entering) - tracker.k,
+                ))
             if not tracker.active:
                 break
             if control is not None:
@@ -628,6 +657,17 @@ def block_gmres(
         )
     statuses = [s if s is not None else SolverStatus.MAX_ITERATIONS
                 for s in tracker.statuses]
+    if probe is not None:
+        probe(ProbeEvent(
+            solver="block-gmres",
+            kind="terminal",
+            iteration=total_block_iterations,
+            restarts=restarts,
+            residual=float(np.max(tracker.rel)),
+            active=0,
+            deflated=0,
+            extra={"statuses": _status_counts(statuses)},
+        ))
     return MultiSolveResult(
         X=tracker.final_X,
         statuses=statuses,
@@ -671,6 +711,7 @@ def block_gmres_ir(
     workspace: Optional[BlockGmresWorkspace] = None,
     control: Optional[SolveControl] = None,
     controls: Optional[Sequence[Optional[SolveControl]]] = None,
+    probe=None,
 ) -> MultiSolveResult:
     """Batched GMRES-IR: blocked fp32 inner cycles with fp64 refinement.
 
@@ -685,7 +726,8 @@ def block_gmres_ir(
     ``control`` / ``controls`` behave as in :func:`block_gmres`: a
     whole-solve token finalizes every remaining column when triggered, a
     per-column token deflates just its column at the next refinement
-    boundary.
+    boundary.  ``probe`` behaves as in :func:`block_gmres` with
+    ``kind="refinement"`` events at the outer refinement boundaries.
     """
     cfg = get_config()
     restart = cfg.restart if restart is None else int(restart)
@@ -778,7 +820,19 @@ def block_gmres_ir(
                     tracker.finalize(i, SolverStatus.BREAKDOWN)
                 elif demanded is not None:
                     tracker.finalize(i, demanded)
+            if probe is not None:
+                entering = [tracker.rel[col] for col in tracker.active]
             tracker.compact(extras=(r_outer,))
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="block-gmres-ir",
+                    kind="refinement",
+                    iteration=total_block_iterations,
+                    restarts=refinements,
+                    residual=float(max(entering)),
+                    active=tracker.k,
+                    deflated=len(entering) - tracker.k,
+                ))
             if not tracker.active:
                 break
             if control is not None:
@@ -881,6 +935,17 @@ def block_gmres_ir(
         )
     statuses = [s if s is not None else SolverStatus.MAX_ITERATIONS
                 for s in tracker.statuses]
+    if probe is not None:
+        probe(ProbeEvent(
+            solver="block-gmres-ir",
+            kind="terminal",
+            iteration=total_block_iterations,
+            restarts=refinements,
+            residual=float(np.max(tracker.rel)),
+            active=0,
+            deflated=0,
+            extra={"statuses": _status_counts(statuses)},
+        ))
     return MultiSolveResult(
         X=tracker.final_X,
         statuses=statuses,

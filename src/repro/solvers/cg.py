@@ -20,6 +20,7 @@ import numpy as np
 
 from ..config import get_config
 from ..linalg import kernels
+from ..obs.probe import ProbeEvent
 from ..perfmodel.timer import KernelTimer, use_timer
 from ..precision import Precision, as_precision
 from ..preconditioners.base import IdentityPreconditioner, Preconditioner
@@ -46,6 +47,7 @@ def cg(
     explicit_residual_every: int = 50,
     fp64_check: bool = True,
     control: Optional[SolveControl] = None,
+    probe=None,
 ) -> SolveResult:
     """Solve an SPD system ``A x = b`` with (preconditioned) conjugate gradients.
 
@@ -71,6 +73,11 @@ def cg(
         ``control.check_interval`` iterations; a triggered control stops
         the solve with ``TIMED_OUT`` / ``CANCELLED`` / ``MAX_ITERATIONS``
         and returns the current iterate.
+    probe:
+        Optional convergence probe fed one
+        :class:`~repro.obs.ProbeEvent` per explicit-residual recompute
+        (every ``explicit_residual_every`` iterations) plus a terminal
+        event (see :mod:`repro.obs.probe`).
     """
     cfg = get_config()
     tol = cfg.rtol if tol is None else float(tol)
@@ -103,6 +110,15 @@ def cg(
     with use_timer(timer):
         bnorm = kernels.norm2(b_work)
         if bnorm == 0.0:
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="cg",
+                    kind="terminal",
+                    iteration=0,
+                    restarts=0,
+                    residual=0.0,
+                    status=SolverStatus.CONVERGED,
+                ))
             return SolveResult(
                 x=np.zeros(n, dtype=prec.dtype),
                 status=SolverStatus.CONVERGED,
@@ -171,6 +187,14 @@ def cg(
                 rnorm = kernels.norm2(r_true)
                 relative_residual = rnorm / bnorm
                 history.record_explicit(iterations, relative_residual)
+                if probe is not None:
+                    probe(ProbeEvent(
+                        solver="cg",
+                        kind="residual",
+                        iteration=iterations,
+                        restarts=0,
+                        residual=relative_residual,
+                    ))
             else:
                 rnorm = kernels.norm2(r)
                 relative_residual = rnorm / bnorm
@@ -194,6 +218,15 @@ def cg(
         else:
             status = SolverStatus.MAX_ITERATIONS
 
+    if probe is not None:
+        probe(ProbeEvent(
+            solver="cg",
+            kind="terminal",
+            iteration=iterations,
+            restarts=0,
+            residual=relative_residual,
+            status=status,
+        ))
     rel64 = _fp64_relative_residual(matrix, b, x) if fp64_check else relative_residual
     return SolveResult(
         x=x,

@@ -31,6 +31,7 @@ from ..config import get_config
 from ..linalg import kernels
 from ..linalg.dense import GivensWorkspace
 from ..linalg.multivector import MultiVector
+from ..obs.probe import ProbeEvent
 from ..ortho import OrthogonalizationManager, make_ortho_manager
 from ..perfmodel.timer import KernelTimer, use_timer
 from ..precision import Precision, as_precision
@@ -285,6 +286,7 @@ def gmres(
     fp64_check: bool = True,
     workspace: Optional[GmresWorkspace] = None,
     control: Optional[SolveControl] = None,
+    probe=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) in a single working precision.
 
@@ -333,6 +335,12 @@ def gmres(
         iterations.  A triggered control terminates the solve with status
         ``TIMED_OUT``, ``CANCELLED`` or ``MAX_ITERATIONS`` and returns the
         best iterate reached so far.
+    probe:
+        Optional convergence probe — a callable fed one
+        :class:`~repro.obs.ProbeEvent` per restart boundary (the explicit
+        relative residual the solver already computes there) plus one
+        terminal event carrying the final status.  See
+        :mod:`repro.obs.probe`.
 
     Returns
     -------
@@ -379,6 +387,15 @@ def gmres(
         bnorm = kernels.norm2(b_work)
         if bnorm == 0.0:
             # Zero right-hand side: the solution is zero.
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="gmres",
+                    kind="terminal",
+                    iteration=0,
+                    restarts=0,
+                    residual=0.0,
+                    status=SolverStatus.CONVERGED,
+                ))
             result_x = np.zeros(n, dtype=prec.dtype)
             return SolveResult(
                 x=result_x,
@@ -403,6 +420,14 @@ def gmres(
             rnorm = kernels.norm2(r)
             relative_residual = rnorm / bnorm
             history.record_explicit(total_iterations, relative_residual)
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="gmres",
+                    kind="restart",
+                    iteration=total_iterations,
+                    restarts=restarts,
+                    residual=relative_residual,
+                ))
 
             if relative_residual <= tol:
                 status = SolverStatus.CONVERGED
@@ -455,6 +480,15 @@ def gmres(
                 status = SolverStatus.BREAKDOWN
                 break
 
+    if probe is not None:
+        probe(ProbeEvent(
+            solver="gmres",
+            kind="terminal",
+            iteration=total_iterations,
+            restarts=restarts,
+            residual=relative_residual,
+            status=status,
+        ))
     rel64 = _fp64_relative_residual(matrix, b, x) if fp64_check else relative_residual
     return SolveResult(
         x=x,

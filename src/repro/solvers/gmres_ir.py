@@ -28,6 +28,7 @@ import numpy as np
 
 from ..config import get_config
 from ..linalg import kernels
+from ..obs.probe import ProbeEvent
 from ..ortho import OrthogonalizationManager, make_ortho_manager
 from ..perfmodel.timer import KernelTimer, use_timer
 from ..precision import Precision, as_precision
@@ -65,6 +66,7 @@ def gmres_ir(
     fp64_check: bool = True,
     workspace: Optional[GmresWorkspace] = None,
     control: Optional[SolveControl] = None,
+    probe=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with GMRES-IR (fp32 inner cycles, fp64 refinement).
 
@@ -99,6 +101,10 @@ def gmres_ir(
         refinement boundary and every ``control.check_interval`` inner
         iterations; a triggered control terminates with ``TIMED_OUT`` /
         ``CANCELLED`` / ``MAX_ITERATIONS`` and keeps the refined iterate.
+    probe:
+        Optional convergence probe fed one
+        :class:`~repro.obs.ProbeEvent` per refinement boundary (the outer
+        fp64 residual) plus a terminal event (see :mod:`repro.obs.probe`).
     """
     cfg = get_config()
     restart = cfg.restart if restart is None else int(restart)
@@ -156,6 +162,15 @@ def gmres_ir(
     with use_timer(timer):
         bnorm = kernels.norm2(b_outer)
         if bnorm == 0.0:
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="gmres-ir",
+                    kind="terminal",
+                    iteration=0,
+                    restarts=0,
+                    residual=0.0,
+                    status=SolverStatus.CONVERGED,
+                ))
             return SolveResult(
                 x=np.zeros(n, dtype=outer.dtype),
                 status=SolverStatus.CONVERGED,
@@ -180,6 +195,14 @@ def gmres_ir(
             rnorm = kernels.norm2(r, label="Residual")
             relative_residual = rnorm / bnorm
             history.record_explicit(total_iterations, relative_residual)
+            if probe is not None:
+                probe(ProbeEvent(
+                    solver="gmres-ir",
+                    kind="refinement",
+                    iteration=total_iterations,
+                    restarts=refinements,
+                    residual=relative_residual,
+                ))
 
             if relative_residual <= tol:
                 status = SolverStatus.CONVERGED
@@ -263,6 +286,15 @@ def gmres_ir(
                 )
                 break
 
+    if probe is not None:
+        probe(ProbeEvent(
+            solver="gmres-ir",
+            kind="terminal",
+            iteration=total_iterations,
+            restarts=refinements,
+            residual=relative_residual,
+            status=status,
+        ))
     rel64 = _fp64_relative_residual(matrix, b, x) if fp64_check else relative_residual
     return SolveResult(
         x=x,

@@ -1,0 +1,210 @@
+"""Span integrity under chaos: tracing a fault-injected solver farm.
+
+ISSUE 9's integration claim: with tracing on, *every* submitted request
+yields exactly one complete, properly-nested span tree — no matter how
+it ends (served, deadline-expired, dead on arrival, cancelled, faulted,
+rejected at admission).  This drives the same adversarial client mix as
+``test_chaos.py`` (fault-injecting backend + deadlines + cancels) and
+then audits the span ledger instead of the futures:
+
+* ``open_spans == 0`` at quiescence — nothing leaks;
+* one root ``request`` span per telemetry-submitted request, each
+  stamped with a terminal ``outcome``;
+* every child chains to a span in its own trace and nests inside its
+  parent's interval; per-request stages appear at most once and in
+  order;
+* the Chrome trace-event export of the wreckage is valid JSON whose
+  complete-event count reconciles with the span buffer, and the metrics
+  registry's exposition stays well-formed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+
+import numpy as np
+import pytest
+
+from test_obs import assert_valid_exposition
+
+from repro.backends import available_backends, get_backend
+from repro.matrices import laplace2d
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    export_chrome_trace,
+    prometheus_text,
+)
+from repro.serve import CircuitOpenError, RejectedError, SolverFarm
+from repro.testing import FaultInjectingBackend, fault_injecting_session_factory
+
+#: Per-request stage children, in lifecycle order.
+STAGES = ("submit", "queued", "dispatch")
+
+SESSION_KWARGS = dict(restart=10, tol=1e-8, max_restarts=80)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return laplace2d(8)
+
+
+def _request_trees(tracer: Tracer):
+    """Group finished spans into trees keyed by trace, keeping only the
+    request traces (batch spans root their own traces)."""
+    trees = {}
+    for trace_id, spans in tracer.spans_by_trace().items():
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1, f"trace {trace_id} has {len(roots)} roots"
+        if roots[0].name == "request":
+            trees[trace_id] = (roots[0], [s for s in spans if s is not roots[0]])
+    return trees
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+def test_every_request_yields_one_complete_span_tree(
+    matrix, backend_name, tmp_path
+):
+    faulty = FaultInjectingBackend(
+        get_backend(backend_name),
+        seed=1234,
+        nan_rate=0.002,
+        exception_rate=0.001,
+        latency_rate=0.01,
+        latency_ms=1.0,
+    )
+    obs = Observability(tracer=Tracer(), registry=MetricsRegistry())
+    farm = SolverFarm(
+        workers=2,
+        max_wait_ms=2.0,
+        queue_depth=256,
+        breaker_threshold=3,
+        breaker_cooldown_ms=50.0,
+        obs=obs,
+    )
+    for key in ("alpha", "beta"):
+        farm.register(
+            key,
+            factory=fault_injecting_session_factory(
+                matrix, faulty, max_block=4, **SESSION_KWARGS
+            ),
+            n_rows=matrix.n_rows,
+        )
+
+    rng = np.random.default_rng(99)
+    futures = []
+    rejected_synchronously = 0
+    with farm:
+        for i in range(60):
+            key = ("alpha", "beta")[i % 2]
+            b = rng.standard_normal(matrix.n_rows)
+            if i % 10 == 7:
+                deadline_ms = 0.0  # dead on arrival
+            elif i % 5 == 3:
+                deadline_ms = 30.0  # tight but usually makeable
+            else:
+                deadline_ms = None
+            try:
+                future = farm.submit(key, b, deadline_ms=deadline_ms)
+            except (RejectedError, CircuitOpenError):
+                rejected_synchronously += 1
+                continue
+            futures.append(future)
+            if i % 12 == 5:
+                future.cancel()
+        done, not_done = concurrent.futures.wait(futures, timeout=120)
+        assert not not_done
+
+    tracer = obs.tracer
+    fleet = farm.stats().fleet
+
+    # --- nothing leaks: every started span was closed ------------------ #
+    assert tracer.open_spans == 0
+    assert tracer.dropped_spans == 0  # capacity was never the constraint
+
+    # --- one complete request tree per telemetry-submitted request ----- #
+    trees = _request_trees(tracer)
+    assert len(trees) == fleet.requests_submitted
+    assert len(trees) == len(futures) + rejected_synchronously
+    assert fleet.requests_submitted == (
+        fleet.requests_completed + fleet.requests_failed
+    )
+
+    outcomes = {}
+    for trace_id, (root, children) in trees.items():
+        outcome = root.attrs.get("outcome")
+        assert outcome, f"request trace {trace_id} has no terminal outcome"
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        assert root.attrs["tenant"] in ("alpha", "beta")
+        # Children: known stages, each at most once, chained to the root,
+        # nested inside its interval and mutually ordered.
+        names = [s.name for s in children]
+        assert set(names) <= set(STAGES)
+        assert len(names) == len(set(names))
+        staged = sorted(children, key=lambda s: STAGES.index(s.name))
+        assert [s.name for s in staged] == [
+            stage for stage in STAGES if stage in names
+        ]
+        for child in children:
+            assert child.finished
+            assert child.parent_id == root.span_id
+            assert child.start_us >= root.start_us
+            assert child.end_us <= root.end_us
+        for earlier, later in zip(staged, staged[1:]):
+            assert earlier.end_us <= later.start_us
+
+    # The adversarial client mix actually exercised the failure paths.
+    assert outcomes.get("converged", 0) > 0
+    failure_modes = sum(
+        count for outcome, count in outcomes.items() if outcome != "converged"
+    )
+    assert failure_modes > 0
+    assert outcomes.get("rejected", 0) == rejected_synchronously
+
+    # Dispatched requests hang off a batch span in the dispatcher's trace.
+    batch_ids = {
+        s.span_id for s in tracer.finished_spans() if s.name == "batch"
+    }
+    for _root, children in trees.values():
+        for child in children:
+            if child.name == "dispatch" and "batch" in child.attrs:
+                assert child.attrs["batch"] in batch_ids
+
+    # --- exports survive the wreckage ---------------------------------- #
+    path = tmp_path / "chaos_trace.json"
+    payload = export_chrome_trace(path, tracer=tracer)
+    on_disk = json.loads(path.read_text())
+    complete = [e for e in on_disk["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == len(tracer.finished_spans())
+    assert on_disk["otherData"]["dropped_spans"] == 0
+    assert payload["displayTimeUnit"] == "ms"
+
+    text = prometheus_text(obs.registry)
+    assert_valid_exposition(text)
+    assert f'repro_requests_submitted_total{{scope="farm",name="{farm.name}"}} ' \
+        f"{fleet.requests_submitted}" in text
+
+
+def test_trace_capacity_overflow_is_accounted_not_fatal(matrix):
+    """A tiny span buffer under real traffic: drops are counted, the
+    exporter stays valid, and no span leaks open."""
+    obs = Observability(tracer=Tracer(capacity=8), registry=None)
+    farm = SolverFarm(workers=1, max_wait_ms=1.0, obs=obs)
+    farm.register("lap", matrix, **SESSION_KWARGS)
+    rng = np.random.default_rng(3)
+    with farm:
+        futures = [
+            farm.submit("lap", rng.standard_normal(matrix.n_rows))
+            for _ in range(12)
+        ]
+        done, not_done = concurrent.futures.wait(futures, timeout=120)
+        assert not not_done
+    tracer = obs.tracer
+    assert tracer.open_spans == 0
+    assert len(tracer.finished_spans()) == 8
+    assert tracer.dropped_spans > 0
+    payload = export_chrome_trace(tracer=tracer)
+    assert payload["otherData"]["dropped_spans"] == tracer.dropped_spans
+    assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == 8
