@@ -48,14 +48,15 @@ the machine-readable benchmark output used by CI:
   degraded more than 3× by the hot neighbour, evictions observed).
 * ``python benchmarks/_harness.py --obs`` measures the observability
   layer's serving cost: the ``--serve`` batched client mix is replayed
-  with obs fully off (baseline), metrics-only (the default) and with
-  request tracing + solver probes on, interleaved so drift cancels.
+  with obs fully off (baseline), metrics-only (the default), adaptive
+  sampling (10% head + tail keep) and with full request tracing +
+  solver probes on, interleaved so drift cancels.
   Emits ``BENCH_obs.json`` with the measured throughput cost of each
   state plus the traced run's Chrome trace-event artifact
   (``TRACE_obs.json``, opens in chrome://tracing / Perfetto); *enforces*
-  the overhead gate (``OBS_GATE``: tracing off costs <2% RHS/s, tracing
-  on <10%, on the reference backend) and checks that the span ledger
-  reconciles with the service telemetry.
+  the overhead gate (``OBS_GATE``: tracing off costs <2% RHS/s, sampled
+  tracing <2%, full tracing <10%, on the reference backend) and checks
+  that the span ledger reconciles with the service telemetry.
 
 The backend-selection/setup boilerplate those modes share lives in
 :func:`backend_context` / :func:`each_backend`.
@@ -817,11 +818,12 @@ OBS_GATE = {
     "backend": "numpy",
     "matrix": "Laplace3D32",
     "max_untraced_cost": 0.02,
+    "max_sampled_cost": 0.02,
     "max_traced_cost": 0.10,
 }
 
-#: The three instrumentation states the overhead benchmark interleaves.
-_OBS_VARIANTS = ("baseline", "untraced", "traced")
+#: The instrumentation states the overhead benchmark interleaves.
+_OBS_VARIANTS = ("baseline", "untraced", "sampled", "traced")
 
 
 def run_obs(
@@ -844,6 +846,8 @@ def run_obs(
       no metrics registry (the PR-8 state);
     * ``untraced`` — metrics collectors registered, tracing off (the
       library default);
+    * ``sampled`` — adaptive tracing (:class:`repro.obs.Sampler`, 10%
+      head rate + tail keep): the always-on production configuration;
     * ``traced`` — a live :class:`repro.obs.Tracer` spanning every
       request plus solver probes, with metrics on.
 
@@ -865,6 +869,7 @@ def run_obs(
     from repro.obs import (
         MetricsRegistry,
         Observability,
+        Sampler,
         Tracer,
         export_chrome_trace,
         prometheus_text,
@@ -887,6 +892,11 @@ def run_obs(
             return Observability.disabled()
         if variant == "untraced":
             return Observability(tracer=None, registry=MetricsRegistry())
+        if variant == "sampled":
+            return Observability(
+                tracer=Tracer(sampler=Sampler(head_rate=0.1, tail_keep=True)),
+                registry=MetricsRegistry(),
+            )
         return Observability(
             tracer=Tracer(), registry=MetricsRegistry()
         )
@@ -934,6 +944,13 @@ def run_obs(
                     session.solve_many(B[:, : session.max_block])
                     wall = drive_clients(session)
                     stats = session.stats()
+                    # Scrape before close: a closed session's collector
+                    # retires itself and drops its series.
+                    scrape = (
+                        prometheus_text(obs.registry)
+                        if obs.registry is not None
+                        else ""
+                    )
                 finally:
                     session.close()
                 assert stats.requests_completed >= total
@@ -955,10 +972,38 @@ def run_obs(
                         stats.requests_completed + stats.requests_failed
                     ):
                         raise SystemExit(f"[obs] {backend}: telemetry skew")
+                if variant == "sampled":
+                    # Sampled ledger reconciles: every request either left
+                    # a kept root or was counted sampled-out — and with an
+                    # all-converged workload the kept set is the head
+                    # stride plus the tail's slowest-decile keeps.
+                    tracer = obs.tracer
+                    assert tracer.open_spans == 0, "span leak under sampling"
+                    roots = [
+                        s for s in tracer.finished_spans()
+                        if s.parent_id is None and s.name == "request"
+                    ]
+                    if tracer.dropped_spans == 0 and (
+                        len(roots) + tracer.sampled_out_traces
+                        != stats.requests_submitted
+                    ):
+                        raise SystemExit(
+                            f"[obs] {backend}: sampled ledger skew: "
+                            f"{len(roots)} kept + {tracer.sampled_out_traces} "
+                            f"dropped != {stats.requests_submitted} submitted"
+                        )
+                    bad = [
+                        s for s in roots
+                        if s.attrs.get("outcome") not in ("converged", "cancelled")
+                        and s.attrs.get("sampled") == "tail"
+                    ]
+                    if stats.requests_failed and not bad:
+                        raise SystemExit(
+                            f"[obs] {backend}: failed requests were sampled out"
+                        )
                 if variant == "untraced":
                     # The collectors actually publish on scrape.
-                    text = prometheus_text(obs.registry)
-                    if "repro_requests_submitted_total" not in text:
+                    if "repro_requests_submitted_total" not in scrape:
                         raise SystemExit(
                             f"[obs] {backend}: metrics collector silent"
                         )
@@ -994,6 +1039,11 @@ def run_obs(
                 tracer = best["traced"][2].tracer
                 entry["finished_spans"] = len(tracer.finished_spans())
                 entry["dropped_spans"] = tracer.dropped_spans
+            if variant == "sampled":
+                tracer = best["sampled"][2].tracer
+                entry["finished_spans"] = len(tracer.finished_spans())
+                entry["sampled_out_traces"] = tracer.sampled_out_traces
+                entry["head_rate"] = tracer.sampler.head_rate
             entries.append(entry)
             print(
                 f"[obs] {backend}/{variant}: {total} requests in "
@@ -1034,6 +1084,11 @@ def run_obs(
             f"metrics-only serving cost {100 * gate_costs.get('untraced', 1.0):.1f}% "
             f"> {100 * OBS_GATE['max_untraced_cost']:.0f}% RHS/s"
         )
+    if gate_costs.get("sampled", 1.0) > OBS_GATE["max_sampled_cost"]:
+        failures.append(
+            f"sampled tracing cost {100 * gate_costs.get('sampled', 1.0):.1f}% "
+            f"> {100 * OBS_GATE['max_sampled_cost']:.0f}% RHS/s"
+        )
     if gate_costs.get("traced", 1.0) > OBS_GATE["max_traced_cost"]:
         failures.append(
             f"traced serving cost {100 * gate_costs.get('traced', 1.0):.1f}% "
@@ -1045,7 +1100,8 @@ def run_obs(
         raise SystemExit(1)
     print(
         f"[obs] gate holds on {OBS_GATE['backend']}: tracing off "
-        f"{100 * gate_costs.get('untraced', 0.0):+.1f}%, tracing on "
+        f"{100 * gate_costs.get('untraced', 0.0):+.1f}%, sampled "
+        f"{100 * gate_costs.get('sampled', 0.0):+.1f}%, tracing on "
         f"{100 * gate_costs.get('traced', 0.0):+.1f}% RHS/s vs baseline"
     )
     return path
@@ -1451,9 +1507,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--obs",
         action="store_true",
-        help="run the observability overhead benchmark (tracing off/on vs "
-        "no-obs baseline, <2%%/<10%% RHS/s gates) and emit BENCH_obs.json "
-        "plus the Chrome trace artifact TRACE_obs.json",
+        help="run the observability overhead benchmark (tracing off / "
+        "sampled / fully on vs no-obs baseline, <2%%/<2%%/<10%% RHS/s "
+        "gates) and emit BENCH_obs.json plus the Chrome trace artifact "
+        "TRACE_obs.json",
     )
     parser.add_argument(
         "--grid", type=int, default=64, help="Laplace3D grid for --backends"

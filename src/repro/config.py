@@ -119,11 +119,39 @@ class ObsConfig:
         registry (:func:`repro.obs.default_registry`) for Prometheus
         exposition.  Pull-based — state is sampled at scrape time, so
         leaving this on costs nothing per request.
+    sample_rate:
+        Head-sampling rate of the config-created tracer: the fraction of
+        requests that get a *full* span tree (``1.0`` = trace everything,
+        the PR-9 behavior).  Below 1.0 the tracer runs with a
+        :class:`repro.obs.Sampler`: unsampled requests record only cheap
+        stage timestamps, and their span trees are synthesized after the
+        fact only when a tail rule keeps them.
+    tail_keep:
+        Tail-based retention (only meaningful with ``sample_rate < 1``):
+        always keep the trace of a request that failed, blew its
+        deadline, tripped an anomaly detector, or landed in the slowest
+        decile — regardless of the head-sampling decision.
+    slo_availability_target:
+        Default availability objective of :class:`repro.obs.SloPolicy`
+        (fraction of non-cancelled requests that must succeed).
+    slo_latency_p95_ms:
+        Default latency objective: windowed p95 must stay at or below
+        this many milliseconds (``0`` disables the latency objective).
+    slo_fast_window_s / slo_slow_window_s:
+        Default burn-rate windows of the SLO engine (multi-window
+        alerting: the fast window catches sharp regressions, the slow
+        window filters blips).
     """
 
     tracing: bool = False
     trace_capacity: int = 65536
     metrics: bool = True
+    sample_rate: float = 1.0
+    tail_keep: bool = True
+    slo_availability_target: float = 0.999
+    slo_latency_p95_ms: float = 0.0
+    slo_fast_window_s: float = 300.0
+    slo_slow_window_s: float = 3600.0
 
 
 #: Deprecated flat ``ReproConfig`` field -> canonical ``ServeConfig`` field.

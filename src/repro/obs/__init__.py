@@ -19,6 +19,25 @@ Three cooperating pieces, all off the hot path by default:
   records under the ``"repro"`` logger namespace for breaker trips,
   evictions and width-1 retries.
 
+On top of the raw streams sits the health intelligence layer:
+
+* **SLO engine** (:mod:`repro.obs.slo`): declarative availability +
+  latency objectives evaluated per tenant and fleet-wide over sliding
+  windows with multi-window burn-rate alerting.
+* **Anomaly detectors** (:mod:`repro.obs.anomaly`): convergence
+  stagnation / residual spikes from the probe stream, latency spikes,
+  breaker flapping, queue saturation and cost-model drift — all feeding
+  a bounded :class:`AlertLedger`.
+* **Health surface** (:mod:`repro.obs.health`): a :class:`HealthMonitor`
+  folding SLOs, alerts and breaker states into per-component
+  ``healthy/degraded/unhealthy``, served as ``/healthz`` + ``/slo`` by
+  the HTTP exporter.
+* **Adaptive sampling** (:class:`Sampler` on :class:`Tracer`): head
+  stride sampling with tail retention of failed / slow /
+  detector-flagged requests, for always-on production tracing.
+* **Offline analysis** (``python -m repro.obs.report``): critical-path
+  and anomaly breakdowns from an exported Chrome trace JSON.
+
 Quickstart::
 
     import repro
@@ -36,7 +55,24 @@ from __future__ import annotations
 from typing import Optional
 
 from ..config import ObsConfig, get_config
+from .anomaly import (
+    ALERT_SEVERITIES,
+    Alert,
+    AlertLedger,
+    BreakerFlapDetector,
+    ConvergenceWatch,
+    LatencySpikeDetector,
+    cost_model_drift,
+)
+from .health import (
+    HEALTH_STATES,
+    ComponentHealth,
+    HealthMonitor,
+    HealthReport,
+    watch_health,
+)
 from .log import LOGGER_NAME, get_logger, log_event
+from .slo import SloEngine, SloPolicy, SloStatus, SloTracker, WindowReport
 from .metrics import (
     METRIC_NAME_RE,
     METRIC_NAMES,
@@ -55,6 +91,7 @@ from .metrics import (
 from .probe import PROBE_KINDS, ProbeEvent, span_probe
 from .trace import (
     RequestTrace,
+    Sampler,
     Span,
     Tracer,
     default_tracer,
@@ -71,11 +108,32 @@ __all__ = [
     # tracing
     "Tracer",
     "Span",
+    "Sampler",
     "RequestTrace",
     "enable_tracing",
     "disable_tracing",
     "default_tracer",
     "export_chrome_trace",
+    # SLOs
+    "SloPolicy",
+    "SloEngine",
+    "SloTracker",
+    "SloStatus",
+    "WindowReport",
+    # anomaly detection
+    "Alert",
+    "AlertLedger",
+    "ALERT_SEVERITIES",
+    "ConvergenceWatch",
+    "LatencySpikeDetector",
+    "BreakerFlapDetector",
+    "cost_model_drift",
+    # health surface
+    "HealthMonitor",
+    "HealthReport",
+    "ComponentHealth",
+    "HEALTH_STATES",
+    "watch_health",
     # solver probes
     "ProbeEvent",
     "PROBE_KINDS",
@@ -104,7 +162,8 @@ _UNSET = object()
 
 
 class Observability:
-    """The tracer + metrics-registry pair a session or farm runs with.
+    """The tracer + metrics-registry (+ health monitor) bundle a session
+    or farm runs with.
 
     Omitted pieces resolve from ``get_config().obs`` at construction
     time: ``tracer`` from the process-default tracer (``None`` unless
@@ -113,17 +172,23 @@ class Observability:
     ``registry=None`` explicitly to force a piece off regardless of
     config — :meth:`disabled` does both, which is what the overhead
     benchmark uses as its baseline.
+
+    ``health`` is explicit-only (default ``None``): pass a
+    :class:`HealthMonitor` to feed its SLO trackers from the serve
+    telemetry, run its anomaly detectors in the dispatch loop, and have
+    farms register themselves for breaker/queue health.
     """
 
-    __slots__ = ("tracer", "registry")
+    __slots__ = ("tracer", "registry", "health")
 
-    def __init__(self, *, tracer=_UNSET, registry=_UNSET) -> None:
+    def __init__(self, *, tracer=_UNSET, registry=_UNSET, health=None) -> None:
         if tracer is _UNSET:
             tracer = default_tracer()
         if registry is _UNSET:
             registry = default_registry() if get_config().obs.metrics else None
         self.tracer: Optional[Tracer] = tracer
         self.registry: Optional[MetricsRegistry] = registry
+        self.health: Optional[HealthMonitor] = health
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -133,7 +198,8 @@ class Observability:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Observability(tracing={'on' if self.tracer else 'off'}, "
-            f"metrics={'on' if self.registry else 'off'})"
+            f"metrics={'on' if self.registry else 'off'}, "
+            f"health={'on' if self.health else 'off'})"
         )
 
 

@@ -77,6 +77,15 @@ METRIC_NAMES = (
     "repro_kernel_model_seconds_total",
     "repro_kernel_wall_seconds_total",
     "repro_kernel_wall_model_ratio",
+    # SLO engine + health surface (published by obs.health.watch_health)
+    "repro_slo_availability_ratio",
+    "repro_slo_burn_rate",
+    "repro_slo_latency_quantile_ms",
+    "repro_slo_error_budget_remaining_ratio",
+    "repro_slo_breached",
+    "repro_alerts_total",
+    "repro_alerts_active",
+    "repro_health_state",
 )
 
 #: Default histogram buckets (seconds) — spans sub-millisecond kernels
@@ -176,6 +185,23 @@ class _Instrument:
             f"{self.name}{self._render_labels(key)} {_format_value(value)}"
             for key, value in items
         ]
+
+    def remove_matching(self, predicate: Callable[[Dict[str, str]], bool]) -> int:
+        """Drop every labelled series whose label dict satisfies ``predicate``.
+
+        This is how collectors retire a closed source's samples: setting a
+        gauge to zero would lie, leaving it frozen at the last value lies
+        harder.  Returns the number of series removed.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._values
+                if predicate(dict(zip(self.labelnames, key)))
+            ]
+            for key in stale:
+                del self._values[key]
+        return len(stale)
 
     def expose(self) -> List[str]:
         lines = [
@@ -295,6 +321,19 @@ class Histogram(_Instrument):
             lines.append(f"{self.name}_count{self._render_labels(key)} {totals[key]}")
         return lines
 
+    def remove_matching(self, predicate: Callable[[Dict[str, str]], bool]) -> int:
+        with self._lock:
+            stale = [
+                key
+                for key in self._counts
+                if predicate(dict(zip(self.labelnames, key)))
+            ]
+            for key in stale:
+                del self._counts[key]
+                del self._sums[key]
+                del self._totals[key]
+        return len(stale)
+
 
 class MetricsRegistry:
     """Instrument namespace + scrape-time collector list."""
@@ -365,6 +404,15 @@ class MetricsRegistry:
                 for collector in dead:
                     if collector in self._collectors:
                         self._collectors.remove(collector)
+
+    def remove_matching(self, predicate: Callable[[Dict[str, str]], bool]) -> int:
+        """Drop matching series from every instrument (see the instrument
+        method); used by the watchers to retire closed sources."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return sum(
+            instrument.remove_matching(predicate) for instrument in instruments
+        )
 
     # -- exposition ----------------------------------------------------- #
     def expose(self) -> str:
@@ -444,15 +492,22 @@ def _publish_serve_stats(
 def watch_session(session, *, registry: Optional[MetricsRegistry] = None) -> None:
     """Publish an :class:`~repro.serve.session.OperatorSession`'s stats.
 
-    Holds only a weak reference: once the session is garbage-collected
-    the collector retires itself on the next scrape.
+    Holds only a weak reference.  The collector retires — and drops the
+    session's series from exposition, so a scrape never shows frozen
+    last-known values — once the session is garbage-collected, closed,
+    or released by the registry (its scheduler closed).
     """
     registry = registry or _DEFAULT_REGISTRY
     ref = weakref.ref(session)
+    session_name = session.name
+
+    def stale(labels: Dict[str, str]) -> bool:
+        return labels.get("scope") == "session" and labels.get("name") == session_name
 
     def collect(reg: MetricsRegistry):
         live = ref()
-        if live is None:
+        if live is None or live.closed or live.scheduler.closed:
+            reg.remove_matching(stale)
             return False
         _publish_serve_stats(reg, live.stats(), scope="session", name=live.name)
 
@@ -468,10 +523,24 @@ def watch_farm(farm, *, registry: Optional[MetricsRegistry] = None) -> None:
     """
     registry = registry or _DEFAULT_REGISTRY
     ref = weakref.ref(farm)
+    watched_name = farm.name
+
+    def stale(labels: Dict[str, str]) -> bool:
+        # Fleet + tenant serve stats carry scope="farm"/"tenant"; the farm
+        # lifecycle gauges and per-tenant queue/breaker gauges carry no
+        # scope label.  A session that happens to share the farm's name
+        # keeps its scope="session" series.
+        name = labels.get("name")
+        if name is None or (
+            name != watched_name and not name.startswith(watched_name + "/")
+        ):
+            return False
+        return labels.get("scope", "farm") in ("farm", "tenant")
 
     def collect(reg: MetricsRegistry):
         live = ref()
-        if live is None:
+        if live is None or live.closed:
+            reg.remove_matching(stale)
             return False
         stats = live.stats()
         farm_name = live.name
@@ -533,10 +602,14 @@ def watch_timer(
     """
     registry = registry or _DEFAULT_REGISTRY
     ref = weakref.ref(timer)
+    timer_name = timer.name
 
     def collect(reg: MetricsRegistry):
         live = ref()
         if live is None:
+            reg.remove_matching(
+                lambda series: series.get("timer") == timer_name
+            )
             return False
         labels = ("timer", "label", "precision", "backend")
         calls = reg.counter(
@@ -590,7 +663,16 @@ def watch_timer(
 # optional stdlib-only HTTP exporter                                     #
 # ---------------------------------------------------------------------- #
 class MetricsHTTPServer:
-    """Serve ``/metrics`` from a daemon thread (``http.server`` only)."""
+    """Serve ``/metrics`` (and, with a health monitor, ``/healthz`` +
+    ``/slo``) from a daemon thread (``http.server`` only).
+
+    ``health`` is duck-typed (a :class:`~repro.obs.health.HealthMonitor`
+    in practice — this module stays import-free of the health layer):
+    ``/healthz`` renders ``health.health().as_dict()`` as JSON with
+    status 200, or 503 when overall state is ``unhealthy``; ``/slo``
+    renders the per-scope SLO evaluation.  Without a monitor both paths
+    are 404, exactly as before.
+    """
 
     def __init__(
         self,
@@ -598,25 +680,46 @@ class MetricsHTTPServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        health=None,
     ) -> None:
+        import json
         from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
         def expose() -> bytes:
             return registry.expose().encode("utf-8")
 
         class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path.split("?")[0] not in ("/", "/metrics"):
-                    self.send_error(404)
-                    return
-                body = expose()
-                self.send_response(200)
-                self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-                )
+            def _send(self, status: int, body: bytes, content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?")[0]
+                if path in ("/", "/metrics"):
+                    self._send(
+                        200,
+                        expose(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                    return
+                if health is not None and path == "/healthz":
+                    report = health.health()
+                    body = json.dumps(report.as_dict(), indent=2).encode("utf-8")
+                    status = 503 if report.state == "unhealthy" else 200
+                    self._send(status, body, "application/json; charset=utf-8")
+                    return
+                if health is not None and path == "/slo":
+                    payload = {
+                        scope: status.as_dict()
+                        for scope, status in health.slo.evaluate().items()
+                    }
+                    body = json.dumps(payload, indent=2).encode("utf-8")
+                    self._send(200, body, "application/json; charset=utf-8")
+                    return
+                self.send_error(404)
 
             def log_message(self, format: str, *args: object) -> None:
                 pass  # stay quiet: this is a metrics sidecar, not a web app
@@ -651,9 +754,14 @@ def start_metrics_server(
     *,
     host: str = "127.0.0.1",
     registry: Optional[MetricsRegistry] = None,
+    health=None,
 ) -> MetricsHTTPServer:
     """Start the HTTP exporter; ``port=0`` picks a free port.
 
-    Returns the running server (``.url``, ``.port``, ``.close()``).
+    Pass a :class:`~repro.obs.health.HealthMonitor` as ``health`` to also
+    serve ``/healthz`` and ``/slo``.  Returns the running server
+    (``.url``, ``.port``, ``.close()``).
     """
-    return MetricsHTTPServer(registry or _DEFAULT_REGISTRY, host=host, port=port)
+    return MetricsHTTPServer(
+        registry or _DEFAULT_REGISTRY, host=host, port=port, health=health
+    )

@@ -191,11 +191,20 @@ class SolverFarm:
             if breaker_cooldown_ms is None
             else float(breaker_cooldown_ms)
         )
-        self.telemetry = FarmTelemetry()
         self.obs = resolve_observability(obs)
         #: The farm's tracer (None = tracing off); farm-queued requests
         #: get their span trees from here, not from the sessions.
         self.tracer = self.obs.tracer
+        #: Optional HealthMonitor (explicit via obs=): its SLO trackers
+        #: ride the telemetry fanout and the farm registers itself for
+        #: breaker/queue health.
+        self.health = self.obs.health
+        self.telemetry = FarmTelemetry(
+            slo=None if self.health is None else self.health.slo,
+            scope=self.name,
+        )
+        if self.health is not None:
+            self.health.watch_farm(self)
 
         def _on_evict(key: str) -> None:
             self.telemetry.record_eviction(key)
@@ -570,7 +579,13 @@ class SolverFarm:
         if not batch:
             return
         report = run_batch(
-            session, batch, sink, tracer=self.tracer, tenant=tenant.key
+            session,
+            batch,
+            sink,
+            tracer=self.tracer,
+            tenant=tenant.key,
+            health=self.health,
+            component=f"{self.name}/{tenant.key}",
         )
         self._feed_breaker(tenant, report)
         with self._lock:

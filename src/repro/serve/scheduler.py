@@ -523,6 +523,8 @@ class SolveScheduler:
             batch,
             self.telemetry,
             tracer=getattr(self._session, "tracer", None),
+            health=getattr(self._session, "health", None),
+            component=self._session.name,
         )
 
 
@@ -567,6 +569,21 @@ class BatchReport:
 _LOGGER = get_logger("serve")
 
 
+def _chain_probes(*probes):
+    """Fan one solver ``probe=`` stream out to several consumers."""
+    live = [p for p in probes if p is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def fanout(event):
+        for probe in live:
+            probe(event)
+
+    return fanout
+
+
 def run_batch(
     session: "OperatorSession",
     batch: List[PendingRequest],
@@ -574,6 +591,8 @@ def run_batch(
     *,
     tracer=None,
     tenant: Optional[str] = None,
+    health=None,
+    component: Optional[str] = None,
 ) -> BatchReport:
     """Run one assembled batch and resolve its futures (the dispatch core).
 
@@ -592,15 +611,31 @@ def run_batch(
     is traced: one ``batch`` span with ``batch_assembly`` / ``solve`` /
     ``demux`` children, solver probe events on the solve span, and every
     request's trace advanced to ``dispatch`` and finished with its
-    terminal outcome.  ``tenant`` labels the farm's batches.
+    terminal outcome.  ``tenant`` labels the farm's batches.  With a
+    sampling tracer, batch spans are only created when at least one
+    request of the batch is head-sampled (a fully tail-deferred batch
+    costs no span allocations unless its requests get kept).
+
+    When ``health`` (a :class:`repro.obs.HealthMonitor`) is given, a
+    convergence watch rides the solver probe stream, the finished
+    :class:`BatchReport` and solve wall time feed the batch-level
+    detectors, and any alert tail-flags every trace of the batch
+    (``component`` names the alert scope; defaults to the session name).
     """
     dispatched_at = time.perf_counter()
     queue_waits = [dispatched_at - r.enqueued_at for r in batch]
     width = len(batch)
+    if component is None:
+        component = session.name
+    watch = None if health is None else health.convergence_watch(component)
 
     batch_span = None
     probe = None
-    if tracer is not None:
+    trace_batch = tracer is not None and (
+        tracer.sampler is None
+        or any(r.trace is not None and r.trace.sampled for r in batch)
+    )
+    if trace_batch:
         attrs: Dict[str, object] = {"session": session.name, "width": width}
         if tenant is not None:
             attrs["tenant"] = tenant
@@ -630,7 +665,9 @@ def run_batch(
     try:
         if batch_span is not None:
             solve_span = tracer.start_span("solve", parent=batch_span)
-            probe = span_probe(solve_span)
+            probe = _chain_probes(watch, span_probe(solve_span))
+        else:
+            probe = watch
         start = time.perf_counter()
         multi = session._solve_block(B, controls=controls, probe=probe)
         solve_seconds = time.perf_counter() - start
@@ -673,7 +710,10 @@ def run_batch(
                     retry = session._solve_block(
                         np.asfortranarray(B[:, c : c + 1]),
                         controls=[batch[c].control],
-                        probe=None if retry_span is None else span_probe(retry_span),
+                        probe=_chain_probes(
+                            watch,
+                            None if retry_span is None else span_probe(retry_span),
+                        ),
                     ).split()[0]
                 except Exception as exc:  # noqa: BLE001 - per-column
                     retry_errors[c] = exc
@@ -695,15 +735,29 @@ def run_batch(
         report.exception = exc
         if solve_span is not None:
             solve_span.finish(error=repr(exc))
+        alerts = 0 if watch is None else watch.alerts
+        if health is not None:
+            alerts += health.observe_batch(component, report, solve_seconds)
         for request in batch:
             fail_future(request.future, exc)
             if request.trace is not None:
+                if alerts:
+                    request.trace.mark_keep()
                 request.trace.finish("error", error=repr(exc))
     else:
         report.statuses = [column.status for column in columns]
         report.nonfinite = any(
             not np.isfinite(column.relative_residual) for column in columns
         )
+        # Detector verdicts must land before the per-request finishes so a
+        # flagged batch's deferred traces are retained by the tail rules.
+        alerts = 0 if watch is None else watch.alerts
+        if health is not None:
+            alerts += health.observe_batch(component, report, solve_seconds)
+        if alerts:
+            for request in batch:
+                if request.trace is not None:
+                    request.trace.mark_keep()
         demux_span = (
             None if batch_span is None
             else tracer.start_span("demux", parent=batch_span)

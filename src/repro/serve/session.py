@@ -49,7 +49,7 @@ from ..solvers.result import MultiSolveResult, SolveResult
 from ..sparse.csr import CsrMatrix
 from .policy import BatchingPolicy
 from .scheduler import SolveScheduler
-from .telemetry import ServeStats, ServeTelemetry
+from .telemetry import ServeStats, ServeTelemetry, TelemetryFanout
 
 __all__ = ["OperatorSession", "validate_rhs"]
 
@@ -202,6 +202,14 @@ class OperatorSession:
         #: The session's tracer (None = tracing off; the scheduler and
         #: the shared dispatch core read this on every hot-path decision).
         self.tracer = self.obs.tracer
+        #: Optional HealthMonitor (explicit via obs=): the dispatch core
+        #: runs its detectors and the telemetry feeds its SLO tracker.
+        self.health = self.obs.health
+        if self.health is not None:
+            telemetry = TelemetryFanout(
+                telemetry if telemetry is not None else ServeTelemetry(),
+                self.health.tracker(self.name),
+            )
 
         # Pin the execution context: resolve the (possibly config-lazy)
         # backend of the *current* context into an explicit instance, so

@@ -426,9 +426,14 @@ class FarmTelemetry:
     and admission rejections are counted here as well, so one
     :meth:`snapshot` call captures the whole observable state of the
     farm.
+
+    With an :class:`~repro.obs.slo.SloEngine` attached (``slo=``), every
+    sink additionally fans out into the engine's per-tenant
+    (``"<scope>/<key>"``) and fleet (``"<scope>"``) trackers — the SLO
+    ledger rides the existing fanout, no extra hook points in the farm.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, slo=None, scope: str = "farm") -> None:
         self._lock = threading.Lock()
         self._fleet = ServeTelemetry()
         self._tenants: Dict[str, ServeTelemetry] = {}
@@ -437,6 +442,8 @@ class FarmTelemetry:
         self._evictions: Dict[str, int] = {}
         self._breaker_trips: Dict[str, int] = {}
         self._creations = 0
+        self._slo = slo
+        self._scope = scope
 
     # ------------------------------------------------------------------ #
     # recording                                                          #
@@ -457,7 +464,11 @@ class FarmTelemetry:
                 tenant = self._tenants.get(key)
                 if tenant is None:
                     tenant = self._tenants[key] = ServeTelemetry()
-                fanout = self._sinks[key] = TelemetryFanout(tenant, self._fleet)
+                sinks = [tenant, self._fleet]
+                if self._slo is not None:
+                    sinks.append(self._slo.tracker(f"{self._scope}/{key}"))
+                    sinks.append(self._slo.tracker(self._scope))
+                fanout = self._sinks[key] = TelemetryFanout(*sinks)
             return fanout
 
     def record_rejected(self, key: str) -> None:

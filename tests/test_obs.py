@@ -384,9 +384,14 @@ class TestSolverProbes:
 # ---------------------------------------------------------------------- #
 #: One Prometheus text-format 0.0.4 sample line:
 #:   name{label="value",...} value
+#: Label values are quoted strings in which `\\`, `\"` and `\n` escapes
+#: are legal and *any* other character — including `{`, `}` and `,` — may
+#: appear raw, so the label block must be parsed as quoted strings, not
+#: as "anything but braces".
+_LABEL_RE = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
 _SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?P<labels>\{[^{}]*\})?'
+    r'(?P<labels>\{' + _LABEL_RE + r'(?:,' + _LABEL_RE + r')*\})?'
     r' (?P<value>-?[0-9.e+-]+|NaN|[+-]Inf)$'
 )
 
@@ -474,6 +479,24 @@ class TestMetrics:
         assert '\\"quotes\\"' in line and "\\n" in line and "\\\\slash" in line
         assert "\n" not in line
 
+    def test_hostile_label_values_survive_exposition(self):
+        """Escaping pin: every text-format 0.0.4 special plus raw braces,
+        commas and equals signs must round-trip through the exposition
+        and still validate as a well-formed sample line."""
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_escape_pin", "Hostile labels.", ("name",))
+        hostile = 'a\\b"c"\nd{e},f=g'
+        g.set(1, name=hostile)
+        text = prometheus_text(reg)
+        names = assert_valid_exposition(text)
+        assert "repro_escape_pin" in names
+        (line,) = [
+            ln for ln in text.splitlines() if ln.startswith("repro_escape_pin{")
+        ]
+        # Escapes per the spec: backslash, double-quote and newline only.
+        assert 'name="a\\\\b\\"c\\"\\nd{e},f=g"' in line
+        assert "\n" not in line
+
     def test_exposition_format_is_valid(self):
         reg = MetricsRegistry()
         reg.counter("repro_requests_total", "Reqs.", ("scope",)).inc(scope="x")
@@ -511,12 +534,17 @@ class TestMetrics:
         )
         with session:
             session.submit(np.ones(matrix.n_rows)).result()
+            text = prometheus_text(reg)
+            assert_valid_exposition(text)
+            assert re.search(
+                r'repro_requests_submitted_total\{scope="session",name="[^"]+"\} 1',
+                text,
+            )
+        # Closing the session retires the collector AND drops its series:
+        # a scrape must not keep exporting a dead session forever.
         text = prometheus_text(reg)
         assert_valid_exposition(text)
-        assert re.search(
-            r'repro_requests_submitted_total\{scope="session",name="[^"]+"\} 1',
-            text,
-        )
+        assert 'scope="session"' not in text
         del session
         gc.collect()
         reg.collect()
@@ -531,17 +559,21 @@ class TestMetrics:
         farm.register("lap", matrix, restart=10, tol=1e-8)
         with farm:
             farm.submit("lap", np.ones(matrix.n_rows)).result()
+            text = prometheus_text(reg)
+            assert_valid_exposition(text)
+            assert 'repro_breaker_state{name="mfarm",tenant="lap"} 0' in text
+            assert 'repro_queue_depth{name="mfarm",tenant="lap"} 0' in text
+            assert re.search(
+                r'repro_requests_completed_total\{scope="farm",name="mfarm"\} 1',
+                text,
+            )
+            assert re.search(
+                r'repro_sessions_created_total\{name="mfarm"\} 1', text
+            )
+        # A closed farm's series disappear from the exposition.
         text = prometheus_text(reg)
         assert_valid_exposition(text)
-        assert 'repro_breaker_state{name="mfarm",tenant="lap"} 0' in text
-        assert 'repro_queue_depth{name="mfarm",tenant="lap"} 0' in text
-        assert re.search(
-            r'repro_requests_completed_total\{scope="farm",name="mfarm"\} 1',
-            text,
-        )
-        assert re.search(
-            r'repro_sessions_created_total\{name="mfarm"\} 1', text
-        )
+        assert "mfarm" not in text
 
 
 class TestHTTPExporter:

@@ -116,6 +116,8 @@ def test_every_request_yields_one_complete_span_tree(
                 future.cancel()
         done, not_done = concurrent.futures.wait(futures, timeout=120)
         assert not not_done
+        # Scrape while the farm is live: closing it drops its series.
+        live_text = prometheus_text(obs.registry)
 
     tracer = obs.tracer
     fleet = farm.stats().fleet
@@ -181,10 +183,11 @@ def test_every_request_yields_one_complete_span_tree(
     assert on_disk["otherData"]["dropped_spans"] == 0
     assert payload["displayTimeUnit"] == "ms"
 
-    text = prometheus_text(obs.registry)
-    assert_valid_exposition(text)
+    assert_valid_exposition(live_text)
     assert f'repro_requests_submitted_total{{scope="farm",name="{farm.name}"}} ' \
-        f"{fleet.requests_submitted}" in text
+        f"{fleet.requests_submitted}" in live_text
+    # After close, the farm's series are retired from the exposition.
+    assert f'name="{farm.name}"' not in prometheus_text(obs.registry)
 
 
 def test_trace_capacity_overflow_is_accounted_not_fatal(matrix):
